@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's figures (or an extension
+experiment), times the run with pytest-benchmark, prints the rows/series
+the paper plots, and archives them under ``benchmarks/results/`` so the
+numbers survive the run.
+
+Scale: benches default to the scaled-down sweeps (shorter measurement
+windows, fewer γ samples, a subset of flow-count panels) so the whole
+suite finishes in minutes.  Set ``REPRO_FULL=1`` for paper-scale runs.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Print a rendered experiment and archive it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[archived to benchmarks/results/{name}.txt]")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once (simulation benches are minutes-scale)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Bench (ablation): RED vs drop-tail at the bottleneck.
+
+Quantifies the conclusion's forward-looking claim: "a PDoS attacker can
+achieve a higher attack gain by attacking a RED router than attacking a
+drop-tail router".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_red_droptail import run_queue_ablation
+
+
+def test_red_vs_droptail_ablation(benchmark, record_result):
+    ablation = run_once(benchmark, run_queue_ablation)
+    record_result("ablation_red_droptail", ablation.render())
+    # The paper's claim: RED grants the attacker the higher gain.
+    assert ablation.mean_gain_advantage() > 0.0

@@ -1,0 +1,27 @@
+"""Bench (extension): defense evaluations.
+
+Two defense claims made quantitative:
+
+* randomized RTO (the paper's reference [7]) defends the timeout-based
+  shrew attack but not the AIMD-based attack (Section 1.1's argument);
+* a CHOKe bottleneck (the RED-hardening direction of the conclusions)
+  takes back part of the attacker's gain by matching-and-dropping the
+  unresponsive pulse flow against itself.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.defenses import run_aqm_hardening, run_rto_randomization
+
+
+def test_rto_randomization_defense(benchmark, record_result):
+    result = run_once(benchmark, run_rto_randomization)
+    record_result("defense_rto_randomization", result.render())
+    # Strong recovery against the shrew attack; weak against AIMD-based.
+    assert result.shrew_recovery() > 0.25
+    assert result.aimd_recovery() < result.shrew_recovery() / 2
+
+
+def test_choke_hardening(benchmark, record_result):
+    result = run_once(benchmark, run_aqm_hardening)
+    record_result("defense_choke_hardening", result.render())
+    assert result.mean_gain_reduction() > 0.0

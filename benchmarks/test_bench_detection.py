@@ -1,0 +1,42 @@
+"""Bench (extension): detection evasion of the optimized PDoS attack.
+
+Quantifies Section 1's claims: the tuned pulsing attack evades the
+volume detector that instantly flags the equal-pulse-rate flood; the
+DTW pulse detector only sees it when sampled faster than T_extent; and
+the attacker's risk exponent κ controls whether the conformance
+filter's average-rate floor is crossed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.detection_evasion import run_detection_evasion
+
+
+def test_detection_evasion_matrix(benchmark, record_result):
+    report = run_once(benchmark, run_detection_evasion)
+    record_result("detection_evasion", report.render())
+
+    baseline = report.scenarios["baseline"]
+    pdos_neutral = report.scenarios["pdos-k1"]
+    pdos_averse = report.scenarios["pdos-k8"]
+    flooding = report.scenarios["flooding"]
+
+    # No false alarms on clean traffic.
+    assert not baseline.flood_verdict.detected
+    assert not baseline.conformance_flagged
+
+    # The flood trips the volume detector; both PDoS tunings evade it.
+    assert flooding.flood_verdict.detected
+    assert not pdos_neutral.flood_verdict.detected
+    assert not pdos_averse.flood_verdict.detected
+
+    # Fine-sampled DTW sees the pulses; coarse-sampled does not
+    # (the paper's criticism of reference [8]).
+    assert pdos_neutral.dtw_fast.detected
+    assert pdos_averse.dtw_fast.detected
+    assert not pdos_neutral.dtw_slow.detected
+    assert not pdos_averse.dtw_slow.detected
+
+    # The risk-averse tuning slips under the conformance rate floor.
+    assert pdos_neutral.conformance_flagged
+    assert not pdos_averse.conformance_flagged
+    assert flooding.conformance_flagged

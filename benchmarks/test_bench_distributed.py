@@ -1,0 +1,22 @@
+"""Bench (extension): distributed (DDoS) deployments of one attack.
+
+One logical pulse train deployed three ways -- single source,
+synchronized k-way rate split, interleaved k-way time split.  The
+victim-side schedule is identical, so the damage must match while each
+split source's average rate (and hence its per-source detectability)
+drops by k.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.distributed_attack import run_distributed_attack
+
+
+def test_distributed_deployments(benchmark, record_result):
+    result = run_once(benchmark, run_distributed_attack)
+    record_result("distributed_attack", result.render())
+
+    degradations = [o.degradation for o in result.outcomes.values()]
+    assert max(degradations) - min(degradations) < 0.15
+    assert result.outcomes["single"].flagged_sources == 1
+    assert result.outcomes["synchronized"].flagged_sources == 0
+    assert result.outcomes["interleaved"].flagged_sources == 0

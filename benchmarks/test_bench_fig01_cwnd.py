@@ -1,0 +1,22 @@
+"""Bench: Fig. 1 -- the cwnd trajectory under a fixed-period attack.
+
+Regenerates the transient + steady window trajectory of a single flow
+and compares the measured pre-epoch windows with the analytical
+``W_{n+1} = b^n W_1 + (1 − b^n) W_c`` and the Eq.-1 converged value.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig01_cwnd import run_fig01
+
+
+def test_fig01_cwnd_trajectory(benchmark, record_result):
+    result = run_once(benchmark, run_fig01)
+    record_result("fig01_cwnd", result.render())
+
+    # The transient must drive the window down from its pre-attack value ...
+    first_measured = result.epochs[0][1]
+    later_measured = [m for (_t, m, _a) in result.epochs[3:]]
+    assert min(later_measured) < first_measured
+    # ... and the analytic trajectory must have converged to W_c (Eq. 1).
+    final_analytic = result.epochs[-1][2]
+    assert abs(final_analytic - result.w_converged) < 0.1 * result.w_converged

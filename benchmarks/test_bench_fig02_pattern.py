@@ -1,0 +1,15 @@
+"""Bench: Fig. 2 -- the periodic incoming-traffic pattern (model).
+
+Regenerates the idealized incoming-traffic series and verifies that the
+period extracted from it equals T_AIMD, exactly as the figure's caption
+asserts.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig02_pattern import run_fig02
+
+
+def test_fig02_periodic_pattern(benchmark, record_result):
+    result = run_once(benchmark, run_fig02)
+    record_result("fig02_pattern", result.render())
+    assert result.report.consistent_with(result.attack_period)

@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 -- risk-preference curves (1 − γ)^κ.
+
+Purely analytical; the bench verifies the three behavioural shapes the
+figure annotates (risk-loving concave, risk-neutral linear, risk-averse
+convex) and archives the sampled family.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.gain import RiskPreference
+from repro.experiments.fig04_risk import run_fig04
+
+
+def test_fig04_risk_preference_curves(benchmark, record_result):
+    curves = run_once(benchmark, run_fig04, kappas=(0.5, 1.0, 3.0),
+                      n_points=11)
+    record_result("fig04_risk", curves.render())
+
+    classes = curves.classes()
+    assert classes[0.5] is RiskPreference.RISK_LOVING
+    assert classes[1.0] is RiskPreference.RISK_NEUTRAL
+    assert classes[3.0] is RiskPreference.RISK_AVERSE
+
+    mid = len(curves.gammas) // 2
+    loving, neutral, averse = (curves.curves[k][mid] for k in (0.5, 1.0, 3.0))
+    # At any interior gamma the curves are strictly ordered (Fig. 4).
+    assert loving > neutral > averse

@@ -1,0 +1,24 @@
+"""Bench: Fig. 10 -- the PDoS / shrew-attack relationship.
+
+Sweeps the paper's three settings with the minRTO harmonics injected
+into the γ grid, and checks the figure's claim: at shrew points the
+measured gain greatly exceeds the analytical (FR-only) prediction.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10_shrew import run_fig10
+
+
+def test_fig10_shrew_points(benchmark, record_result):
+    fig = run_once(benchmark, run_fig10)
+    record_result("fig10_shrew", fig.render())
+
+    for curve, shrew_excess in zip(fig.curves, fig.shrew_excess):
+        # Every curve contains flagged shrew points ...
+        assert any(p.is_shrew for p in curve.points), curve.label
+        # ... and at those points the measurement beats the analysis
+        # (the paper: "much higher than what are anticipated").
+        assert not math.isnan(shrew_excess)
+        assert shrew_excess > 0.1, (curve.label, shrew_excess)

@@ -1,0 +1,34 @@
+"""Bench: Fig. 12 -- test-bed gain curves.
+
+Sweeps R_attack ∈ {15, 20, 30} Mb/s at T_extent = 150 ms over the
+Dummynet emulation (10 flows, 10 Mb/s RED pipe, Linux 200 ms RTO_min)
+and checks the paper's orderings: higher pulse rates win, and all three
+curves follow the analytical trend (rising damage, falling gain past
+the maximization point).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12_testbed import run_fig12
+
+
+def test_fig12_testbed_curves(benchmark, record_result):
+    fig = run_once(benchmark, run_fig12)
+    record_result("fig12_testbed", fig.render())
+
+    by_rate = {curve.rate_bps: curve for curve in fig.curves}
+    mean_damage = {
+        rate: float(np.mean([p.measured_degradation for p in curve.points]))
+        for rate, curve in by_rate.items()
+    }
+    # Higher pulse rate -> more damage at the same duty cycles.
+    assert mean_damage[30e6] > mean_damage[15e6]
+
+    for curve in fig.curves:
+        # Damage Γ grows with gamma along each curve (trend match).
+        degradations = [p.measured_degradation for p in curve.points]
+        assert degradations[-1] > degradations[0]
+        # The risk-discounted gain declines toward gamma -> 1.
+        gains = [p.measured_gain for p in curve.points]
+        assert gains[-1] < max(gains)

@@ -1,0 +1,31 @@
+"""Bench (extension): per-flow damage + victim-variant resilience.
+
+Two defender-side analyses: the distribution of damage across the RTT
+spread (with Jain's fairness index), and the resilience ordering of the
+victim TCP variants (Tahoe / Reno / NewReno / SACK) under the identical
+attack.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_victim import run_victim_ablation
+from repro.experiments.flow_damage import run_flow_damage
+from repro.sim.tcp import TCPVariant
+
+
+def test_per_flow_damage(benchmark, record_result):
+    report = run_once(benchmark, run_flow_damage)
+    record_result("flow_damage", report.render())
+    assert all(d.degradation > 0.1 for d in report.damages)
+
+
+def test_victim_variant_resilience(benchmark, record_result):
+    ablation = run_once(benchmark, run_victim_ablation)
+    record_result("ablation_victim", ablation.render())
+    # The attack works against every variant (its leverage is AIMD) ...
+    for variant in ablation.curves:
+        assert ablation.mean_degradation(variant) > 0.3
+    # ... and SACK, the best recovery, suffers no more than NewReno.
+    assert (
+        ablation.mean_degradation(TCPVariant.SACK)
+        <= ablation.mean_degradation(TCPVariant.NEWRENO) + 0.05
+    )

@@ -1,0 +1,18 @@
+"""Bench (extension): mice vs elephants.
+
+Adds a short-flow (mice) churn to the elephant-only victim population
+and measures both: aggregate goodput degradation for the elephants,
+flow-completion-time inflation for the mice.  The mice's tail FCT must
+inflate under attack (the interactive-traffic damage a throughput
+number hides).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.mice_elephants import run_mice_elephants
+
+
+def test_mice_vs_elephants(benchmark, record_result):
+    result = run_once(benchmark, run_mice_elephants)
+    record_result("mice_elephants", result.render())
+    assert result.elephant_degradation() > 0.3
+    assert result.mice_p90_inflation() > 1.2

@@ -1,0 +1,17 @@
+"""Bench (ablation): FR-only model vs the timeout-aware extension.
+
+The paper's Section-5 future work, evaluated: both analytical models
+predict the gain curve for the same sweep, and their absolute errors
+against the simulation are compared.  The timeout-aware extension must
+beat the base model overall, because it captures the over-gain and
+shrew effects the paper attributes to timeouts.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_model import run_model_ablation
+
+
+def test_timeout_model_beats_base_model(benchmark, record_result):
+    ablation = run_once(benchmark, run_model_ablation)
+    record_result("ablation_model_accuracy", ablation.render())
+    assert ablation.mean_extended_error() < ablation.mean_base_error()

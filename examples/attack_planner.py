@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The damage/stealth trade-off: optimal attacks across risk preferences.
+
+Sweeps the risk exponent κ from strongly risk-loving to strongly
+risk-averse and prints the optimal tuning for each -- γ*, the pulse
+spacing, the predicted damage, and the average attack rate the defender
+would have to notice.  The two Corollary limits bracket the table:
+κ → 0 recovers the flooding attacker (γ* → 1) and κ → ∞ the maximally
+cautious one (γ* → C_ψ).
+
+Run:  python examples/attack_planner.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    VictimPopulation,
+    classify_kappa,
+    optimal_attack,
+    optimal_gamma,
+)
+from repro.util.units import mbps, ms
+
+
+def main() -> None:
+    bottleneck = mbps(15)
+    victims = VictimPopulation(
+        rtts=np.linspace(0.02, 0.46, 15), delayed_ack=2,
+    )
+    rate, extent = mbps(30), ms(100)
+
+    print("victims: 15 TCP flows, RTT 20-460 ms, 15 Mb/s bottleneck")
+    print(f"pulse: R_attack = {rate / 1e6:.0f} Mb/s, "
+          f"T_extent = {extent * 1e3:.0f} ms\n")
+    header = (
+        f"{'kappa':>7} {'type':<13} {'gamma*':>7} {'T_AIMD*':>9} "
+        f"{'T_space*':>9} {'Gamma*':>7} {'G*':>7} {'avg rate':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for kappa in (0.1, 0.3, 1.0, 3.0, 8.0, 30.0):
+        plan = optimal_attack(
+            victims, rate_bps=rate, extent=extent,
+            bottleneck_bps=bottleneck, kappa=kappa,
+        )
+        print(
+            f"{kappa:7.1f} {classify_kappa(kappa).value:<13} "
+            f"{plan.gamma_star:7.3f} {plan.period_star * 1e3:7.0f}ms "
+            f"{plan.train.space * 1e3:7.0f}ms {plan.degradation_star:7.3f} "
+            f"{plan.gain_star:7.3f} {plan.train.mean_rate_bps() / 1e6:7.2f}Mb"
+        )
+
+    c_psi = plan.c_psi
+    print("\nCorollary limits:")
+    print(f"  kappa -> 0   : gamma* -> 1      "
+          f"(flooding; computed {optimal_gamma(c_psi, 1e-9):.6f})")
+    print(f"  kappa -> inf : gamma* -> C_psi = {c_psi:.3f} "
+          f"(computed {optimal_gamma(c_psi, 1e9):.6f})")
+    print(f"  kappa  = 1   : gamma* = sqrt(C_psi) = {c_psi ** 0.5:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Defender's view: which attacks do standard detectors actually catch?
+
+Runs the detection-evasion experiment: the same dumbbell is subjected to
+(a) no attack, (b) the risk-neutral optimal PDoS attack, (c) a
+risk-averse optimal PDoS attack, and (d) an equal-pulse-rate flood, and
+four detector configurations inspect the bottleneck traffic:
+
+* a volume (flood) detector with a 5 s window;
+* a DTW pulse detector sampled faster than T_extent;
+* the same DTW detector sampled slower than T_extent (the blind spot
+  the paper identifies in reference [8]);
+* a flow-conformance filter with an average-rate floor.
+
+The punchline is the paper's Section-1 claim made quantitative: the
+optimized pulsing attack inflicts most of the flood's damage while
+tripping none of the flood-oriented alarms -- and the attacker's risk
+exponent κ is precisely the knob that trades residual detectability
+for damage.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.baselines import FloodingAttack, RoQAttack, ShrewAttack
+from repro.experiments import run_detection_evasion
+from repro.util.units import mbps, ms
+
+
+def main() -> None:
+    report = run_detection_evasion()
+    print(report.render())
+
+    print("\nbaseline attack repertoire (for comparison):")
+    flood = FloodingAttack(rate_bps=mbps(30), duration=30.0)
+    print(f"  flooding: gamma = {flood.gamma(mbps(15)):.2f}, "
+          f"volume = {flood.total_bytes() / 1e6:.0f} MB "
+          f"(evades volume detection: "
+          f"{flood.evades_volume_detection(mbps(15))})")
+    shrew = ShrewAttack(min_rto=1.0, rate_bps=mbps(30), extent=ms(100))
+    print(f"  shrew (minRTO=1s): period = {shrew.period:.2f} s, "
+          f"gamma = {shrew.gamma(mbps(15)):.2f}")
+    roq = RoQAttack.tuned_for_red(rate_bps=mbps(30), bottleneck_bps=mbps(15))
+    print(f"  RoQ (RED transients): extent = {roq.extent * 1e3:.0f} ms, "
+          f"period = {roq.period * 1e3:.0f} ms, "
+          f"gamma = {roq.gamma(mbps(15)):.2f}")
+
+
+if __name__ == "__main__":
+    main()

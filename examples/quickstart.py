@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: plan an optimal PDoS attack and validate it in simulation.
+
+This walks the paper's whole pipeline in one page:
+
+1. describe the victim population (15 TCP flows behind a 15 Mb/s
+   bottleneck, RTTs from 20 to 460 ms);
+2. solve the Section-3 optimization for a risk-neutral attacker --
+   closed-form γ*, the optimal pulse spacing, and the predicted gain;
+3. launch exactly that pulse train in the packet-level simulator;
+4. compare the predicted throughput degradation with the measured one.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import VictimPopulation, optimal_attack
+from repro.sim import DumbbellConfig, TCPConfig, TCPVariant, build_dumbbell
+from repro.util.units import mbps, ms
+
+
+def main() -> None:
+    bottleneck = mbps(15)
+    tcp = TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=2, min_rto=1.0)
+    config = DumbbellConfig(n_flows=15, tcp=tcp, seed=2)
+
+    # -- step 1+2: the analytical plan -------------------------------
+    victims = VictimPopulation(rtts=config.flow_rtts(), delayed_ack=2)
+    plan = optimal_attack(
+        victims,
+        rate_bps=mbps(30),      # pulse rate: 2x the bottleneck
+        extent=ms(100),         # pulse width
+        bottleneck_bps=bottleneck,
+        kappa=1.0,              # risk-neutral attacker
+        n_pulses=400,
+    )
+    print("=== optimal attack plan (risk-neutral) ===")
+    print(f"C_psi            = {plan.c_psi:.3f}")
+    print(f"gamma*           = {plan.gamma_star:.3f}   (Corollary 3: sqrt(C_psi))")
+    print(f"T_AIMD*          = {plan.period_star * 1e3:.0f} ms "
+          f"(T_space = {plan.train.space * 1e3:.0f} ms)")
+    print(f"predicted Gamma  = {plan.degradation_star:.3f}")
+    print(f"predicted gain G = {plan.gain_star:.3f}")
+
+    # -- step 3: launch it on the dumbbell ---------------------------
+    warmup, window = 8.0, 30.0
+
+    def measure(attack_train):
+        net = build_dumbbell(DumbbellConfig(n_flows=15, tcp=tcp, seed=2))
+        net.start_flows()
+        net.run(until=warmup)
+        before = net.aggregate_goodput_bytes()
+        if attack_train is not None:
+            net.add_attack(attack_train, start_time=warmup).start()
+        net.run(until=warmup + window)
+        return net.aggregate_goodput_bytes() - before
+
+    baseline = measure(None)
+    attacked = measure(plan.train)
+
+    # -- step 4: compare ---------------------------------------------
+    measured_degradation = 1.0 - attacked / baseline
+    print("\n=== simulation check ===")
+    print(f"baseline goodput   = {baseline * 8 / window / 1e6:.2f} Mb/s")
+    print(f"attacked goodput   = {attacked * 8 / window / 1e6:.2f} Mb/s")
+    print(f"measured Gamma     = {measured_degradation:.3f} "
+          f"(model predicted {plan.degradation_star:.3f})")
+    if measured_degradation > plan.degradation_star + 0.1:
+        print("  -> an over-gain outcome (Section 4.1.1): the pulses force "
+              "timeouts, not just\n     fast recovery, so the FR-only model "
+              "under-estimates the damage.")
+    mean_rate = plan.train.mean_rate_bps() / 1e6
+    print(f"attacker average rate = {mean_rate:.2f} Mb/s "
+          f"({plan.gamma_star:.0%} of the bottleneck -- low enough to evade "
+          f"flood detection)")
+
+
+if __name__ == "__main__":
+    main()

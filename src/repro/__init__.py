@@ -1,0 +1,56 @@
+"""repro -- a reproduction of *Optimizing the Pulsing Denial-of-Service
+Attacks* (Xiapu Luo and Rocky K. C. Chang, DSN 2005).
+
+The package contains everything the paper builds on:
+
+* :mod:`repro.core` -- the paper's contribution: the pulse-train attack
+  model, the TCP-throughput analysis under attack (Propositions 1-2),
+  the attack-gain objective ``G = Γ(1−γ)^κ``, and its closed-form
+  optimizer (Propositions 3-4 and the four corollaries);
+* :mod:`repro.sim` -- a packet-level discrete-event network simulator
+  (the ns-2 substrate): links, DropTail/RED queues, general-AIMD TCP
+  (Tahoe/Reno/NewReno), pulse attackers, and the dumbbell topology;
+* :mod:`repro.testbed` -- a Dummynet-style pipe emulation with an
+  Iperf-like workload (the test-bed substrate);
+* :mod:`repro.analysis` -- normalization, Piecewise Aggregate
+  Approximation, and period estimators for the quasi-global
+  synchronization phenomenon;
+* :mod:`repro.detection` -- the detector families the attack evades;
+* :mod:`repro.baselines` -- flooding, shrew, and RoQ baseline attacks;
+* :mod:`repro.experiments` -- drivers reproducing every figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import VictimPopulation, optimal_attack
+    from repro.util.units import mbps, ms
+
+    victims = VictimPopulation(rtts=np.linspace(0.02, 0.46, 15),
+                               delayed_ack=2)
+    plan = optimal_attack(victims, rate_bps=mbps(30), extent=ms(100),
+                          bottleneck_bps=mbps(15), kappa=1.0)
+    print(plan.gamma_star, plan.period_star, plan.train)
+"""
+
+from repro.core import (
+    OptimalAttack,
+    PulseTrain,
+    VictimPopulation,
+    attack_gain,
+    c_psi,
+    optimal_attack,
+    optimal_gamma,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OptimalAttack",
+    "PulseTrain",
+    "VictimPopulation",
+    "__version__",
+    "attack_gain",
+    "c_psi",
+    "optimal_attack",
+    "optimal_gamma",
+]

@@ -1,0 +1,42 @@
+"""Time-series analysis for the quasi-global-synchronization phenomenon.
+
+The paper visualizes the router's incoming traffic by (1) normalizing
+the series to zero mean and (2) applying a Piecewise Aggregate
+Approximation (Keogh et al., SIGMOD 2001).  The pinnacle count over the
+observation window then reveals the attack period (Fig. 3).
+
+* :mod:`repro.analysis.paa` -- normalization + PAA;
+* :mod:`repro.analysis.sync` -- pinnacle counting, autocorrelation and
+  FFT period estimators, and the end-to-end
+  :func:`~repro.analysis.sync.analyze_synchronization` summary.
+"""
+
+from repro.analysis.paa import normalize, paa, paa_series, znormalize
+from repro.analysis.plot import scatter_grid, sparkline
+from repro.analysis.stats import FlowDamage, jain_fairness_index, per_flow_damage
+from repro.analysis.sync import (
+    PeriodEstimate,
+    SynchronizationReport,
+    analyze_synchronization,
+    autocorrelation_period,
+    count_pinnacles,
+    fft_period,
+)
+
+__all__ = [
+    "FlowDamage",
+    "PeriodEstimate",
+    "SynchronizationReport",
+    "analyze_synchronization",
+    "autocorrelation_period",
+    "count_pinnacles",
+    "fft_period",
+    "jain_fairness_index",
+    "normalize",
+    "paa",
+    "paa_series",
+    "per_flow_damage",
+    "scatter_grid",
+    "sparkline",
+    "znormalize",
+]

@@ -1,0 +1,79 @@
+"""Normalization and Piecewise Aggregate Approximation (PAA).
+
+PAA (Keogh, Chakrabarti, Pazzani & Mehrotra, SIGMOD 2001 -- the paper's
+reference [5]) reduces a length-``n`` series to ``m`` segments, each the
+mean of ``n/m`` consecutive samples.  The paper uses mean-removal
+followed by PAA to display the incoming-traffic fluctuation (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["normalize", "znormalize", "paa", "paa_series"]
+
+
+def normalize(series: np.ndarray) -> np.ndarray:
+    """Shift *series* to zero mean (the paper's first transform for Fig. 3)."""
+    series = np.asarray(series, dtype=float)
+    if series.size == 0:
+        raise ValidationError("cannot normalize an empty series")
+    return series - series.mean()
+
+
+def znormalize(series: np.ndarray) -> np.ndarray:
+    """Zero mean and unit variance (constant series map to all-zeros)."""
+    series = np.asarray(series, dtype=float)
+    if series.size == 0:
+        raise ValidationError("cannot normalize an empty series")
+    centred = series - series.mean()
+    scale = centred.std()
+    if scale == 0.0:
+        return centred
+    return centred / scale
+
+
+def paa(series: np.ndarray, n_segments: int) -> np.ndarray:
+    """Piecewise Aggregate Approximation to *n_segments* segment means.
+
+    Handles lengths not divisible by ``n_segments`` by weighting boundary
+    samples fractionally (the standard generalization), so the result is
+    exact for any ``1 <= n_segments <= len(series)``.
+    """
+    series = np.asarray(series, dtype=float)
+    n = series.size
+    if n == 0:
+        raise ValidationError("cannot apply PAA to an empty series")
+    if not 1 <= n_segments <= n:
+        raise ValidationError(
+            f"n_segments must be in [1, {n}], got {n_segments}"
+        )
+    if n % n_segments == 0:
+        return series.reshape(n_segments, n // n_segments).mean(axis=1)
+    # Fractional segment boundaries: distribute each sample's mass across
+    # the segments it overlaps.
+    edges = np.linspace(0.0, n, n_segments + 1)
+    output = np.zeros(n_segments)
+    for seg in range(n_segments):
+        lo, hi = edges[seg], edges[seg + 1]
+        first, last = int(np.floor(lo)), int(np.ceil(hi))
+        total = 0.0
+        for i in range(first, min(last, n)):
+            overlap = min(hi, i + 1.0) - max(lo, float(i))
+            if overlap > 0:
+                total += series[i] * overlap
+        output[seg] = total / (hi - lo)
+    return output
+
+
+def paa_series(series: np.ndarray, segment_width: int) -> np.ndarray:
+    """PAA with a fixed per-segment sample count instead of a segment total."""
+    series = np.asarray(series, dtype=float)
+    if segment_width < 1:
+        raise ValidationError(
+            f"segment_width must be >= 1, got {segment_width}"
+        )
+    n_segments = max(1, series.size // segment_width)
+    return paa(series[: n_segments * segment_width], n_segments)

@@ -1,0 +1,110 @@
+"""Terminal plotting: sparklines and scatter grids for experiment output.
+
+Experiment renderers are plain text so they survive logs, CI, and the
+benchmark archive; these helpers make the text *legible* -- a unicode
+sparkline for time series (the Fig.-3 traffic trace) and a fixed-grid
+scatter for gain-vs-γ curves (the Figs. 6-9 shape at a glance).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.paa import paa_series
+from repro.util.errors import ValidationError
+
+__all__ = ["sparkline", "scatter_grid"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: Sequence[float], width: int = 72) -> str:
+    """Render *series* as a one-line unicode sparkline.
+
+    Longer series are PAA-reduced to at most *width* characters, so the
+    line faithfully shows segment means rather than arbitrary samples.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.size == 0:
+        raise ValidationError("cannot sparkline an empty series")
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    if values.size > width:
+        values = paa_series(values, max(1, values.size // width))
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return _BLOCKS[1] * values.size
+    scaled = (values - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def scatter_grid(
+    x: Sequence[float],
+    series: Sequence[Sequence[float]],
+    *,
+    labels: Optional[Sequence[str]] = None,
+    markers: str = "ox+*#@",
+    height: int = 12,
+    width: int = 60,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Plot one or more y-series against shared x values as ASCII art.
+
+    Args:
+        x: shared x coordinates (need not be evenly spaced).
+        series: one sequence of y values per curve (same length as *x*).
+        labels: legend labels, one per curve.
+        markers: characters used per curve, cycled.
+        height / width: character-grid size.
+        y_min / y_max: fixed y range; defaults to the data range.
+
+    Returns:
+        A multi-line string: the grid, an x-axis line, and a legend.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.size == 0:
+        raise ValidationError("need at least one x value")
+    if height < 2 or width < 2:
+        raise ValidationError("grid must be at least 2x2")
+    ys = [np.asarray(s, dtype=float) for s in series]
+    if not ys:
+        raise ValidationError("need at least one series")
+    for y in ys:
+        if y.shape != x_arr.shape:
+            raise ValidationError(
+                f"series length {y.size} != x length {x_arr.size}"
+            )
+
+    all_y = np.concatenate(ys)
+    lo = float(all_y.min()) if y_min is None else y_min
+    hi = float(all_y.max()) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = float(x_arr.min()), float(x_arr.max())
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, y in enumerate(ys):
+        marker = markers[index % len(markers)]
+        for xi, yi in zip(x_arr, y):
+            col = int(round((xi - x_lo) / x_span * (width - 1)))
+            row = int(round((yi - lo) / (hi - lo) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{y_value:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<10.3f}{'':{max(0, width - 20)}}{x_hi:>10.3f}")
+    if labels:
+        legend = "   ".join(
+            f"{markers[i % len(markers)]} = {label}"
+            for i, label in enumerate(labels)
+        )
+        lines.append(" " * 9 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Throughput statistics: fairness and per-flow damage summaries.
+
+Support for the per-flow analyses around Section 4.1.3 ("some TCP flows
+may survive these timeout-based attacks because of their large RTTs"):
+Jain's fairness index over per-flow goodputs, and per-flow degradation
+summaries keyed by RTT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+__all__ = ["jain_fairness_index", "FlowDamage", "per_flow_damage"]
+
+
+def jain_fairness_index(allocations: Sequence[float]) -> float:
+    """Jain, Chiu & Hawe's fairness index ``(Σx)² / (n·Σx²)``.
+
+    1.0 for perfectly equal shares, ``1/n`` when one flow takes all.
+    All-zero allocations count as (vacuously) fair.
+    """
+    values = np.asarray(allocations, dtype=float)
+    if values.size == 0:
+        raise ValidationError("need at least one allocation")
+    if np.any(values < 0):
+        raise ValidationError("allocations must be non-negative")
+    total_sq = values.sum() ** 2
+    denom = values.size * (values ** 2).sum()
+    if denom == 0.0:
+        return 1.0
+    return float(total_sq / denom)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowDamage:
+    """One flow's before/after comparison.
+
+    Attributes:
+        rtt: the flow's round-trip time, seconds.
+        baseline_bytes / attacked_bytes: delivered payload in the
+            measurement window without / with the attack.
+        degradation: ``1 − attacked/baseline`` (0 when the baseline is 0).
+    """
+
+    rtt: float
+    baseline_bytes: float
+    attacked_bytes: float
+
+    @property
+    def degradation(self) -> float:
+        if self.baseline_bytes <= 0:
+            return 0.0
+        return 1.0 - self.attacked_bytes / self.baseline_bytes
+
+
+def per_flow_damage(rtts: Sequence[float], baseline: Sequence[float],
+                    attacked: Sequence[float]) -> List[FlowDamage]:
+    """Pair up per-flow measurements into :class:`FlowDamage` records."""
+    if not len(rtts) == len(baseline) == len(attacked):
+        raise ValidationError(
+            f"length mismatch: {len(rtts)} rtts, {len(baseline)} baseline, "
+            f"{len(attacked)} attacked"
+        )
+    return [
+        FlowDamage(rtt=float(rtt), baseline_bytes=float(b),
+                   attacked_bytes=float(a))
+        for rtt, b, a in zip(rtts, baseline, attacked)
+    ]

@@ -1,0 +1,167 @@
+"""Quasi-global-synchronization detection (Section 2.3, Figs. 2-3).
+
+A PDoS attack imprints its period on the router's incoming traffic: the
+pulses (plus the synchronized TCP recovery of the victims) produce
+evenly spaced pinnacles whose spacing equals T_AIMD.  The paper counts
+pinnacles over a one-minute snapshot (30 pinnacles / 60 s → period 2 s
+in Fig. 3(a)); this module implements that count plus two independent
+period estimators (autocorrelation peak and FFT fundamental), so the
+claim "traffic period == attack period" can be checked three ways.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.paa import znormalize
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = [
+    "count_pinnacles",
+    "autocorrelation_period",
+    "fft_period",
+    "PeriodEstimate",
+    "SynchronizationReport",
+    "analyze_synchronization",
+]
+
+
+def count_pinnacles(series: np.ndarray, *, threshold_sigma: float = 1.0,
+                    min_separation: int = 2) -> int:
+    """Count prominent peaks ("pinnacles") in a traffic series.
+
+    A pinnacle is a local maximum exceeding ``mean + threshold_sigma·std``
+    and separated from the previous one by at least *min_separation*
+    samples (so a flat-topped pulse counts once).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.size < 3:
+        raise ValidationError("need at least 3 samples to find peaks")
+    if min_separation < 1:
+        raise ValidationError(
+            f"min_separation must be >= 1, got {min_separation}"
+        )
+    scale = series.std()
+    if scale == 0.0:
+        return 0  # a constant series has no peaks
+    threshold = series.mean() + threshold_sigma * scale
+    count = 0
+    last_peak = -min_separation - 1
+    for i in range(1, series.size - 1):
+        if series[i] < threshold:
+            continue
+        if series[i] >= series[i - 1] and series[i] >= series[i + 1]:
+            if i - last_peak >= min_separation:
+                count += 1
+            last_peak = i
+    return count
+
+
+def autocorrelation_period(series: np.ndarray, bin_width: float,
+                           *, min_lag: int = 2) -> Optional[float]:
+    """Dominant period via the first major autocorrelation peak, seconds.
+
+    Returns ``None`` when no peak rises meaningfully above the noise
+    floor (an aperiodic series).
+    """
+    check_positive("bin_width", bin_width)
+    series = znormalize(np.asarray(series, dtype=float))
+    n = series.size
+    if n < 2 * min_lag + 1:
+        raise ValidationError("series too short for autocorrelation")
+    # Full autocorrelation via FFT, normalized to rho(0) == 1.
+    fft = np.fft.rfft(series, n=2 * n)
+    acf = np.fft.irfft(fft * np.conj(fft))[:n]
+    if acf[0] <= 0:
+        return None
+    acf = acf / acf[0]
+    # First local maximum past min_lag that exceeds a noise threshold.
+    best_lag, best_value = None, 0.2
+    for lag in range(min_lag, n // 2):
+        if acf[lag] > acf[lag - 1] and acf[lag] >= acf[lag + 1]:
+            if acf[lag] > best_value:
+                best_lag, best_value = lag, acf[lag]
+                break  # the first such peak is the fundamental
+    if best_lag is None:
+        return None
+    return best_lag * bin_width
+
+
+def fft_period(series: np.ndarray, bin_width: float) -> Optional[float]:
+    """Dominant period via the FFT fundamental, seconds.
+
+    A sharp pulse train spreads its energy across many harmonics of
+    nearly equal magnitude, so a plain arg-max can land on the 10th
+    harmonic.  Instead, among all bins within a factor of two of the
+    spectral peak, the *lowest* frequency is taken -- the fundamental.
+    """
+    check_positive("bin_width", bin_width)
+    series = znormalize(np.asarray(series, dtype=float))
+    n = series.size
+    if n < 4:
+        raise ValidationError("series too short for an FFT period estimate")
+    spectrum = np.abs(np.fft.rfft(series))
+    spectrum[0] = 0.0
+    peak_magnitude = spectrum.max()
+    if peak_magnitude == 0.0:
+        return None
+    candidates = np.nonzero(spectrum >= 0.5 * peak_magnitude)[0]
+    fundamental = int(candidates[0])
+    frequency = fundamental / (n * bin_width)
+    return 1.0 / frequency
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodEstimate:
+    """One period estimate with its method label."""
+
+    method: str
+    period: Optional[float]
+
+
+@dataclasses.dataclass(frozen=True)
+class SynchronizationReport:
+    """Output of :func:`analyze_synchronization`.
+
+    Attributes:
+        pinnacles: number of prominent peaks in the window.
+        window: observation window length, seconds.
+        pinnacle_period: ``window / pinnacles`` (the paper's Fig.-3
+            calculation), or None without peaks.
+        acf_period / fft_period: independent estimates.
+        attack_period: the ground-truth T_AIMD if supplied.
+    """
+
+    pinnacles: int
+    window: float
+    pinnacle_period: Optional[float]
+    acf_period: Optional[float]
+    fft_period: Optional[float]
+
+    def consistent_with(self, attack_period: float, *,
+                        rtol: float = 0.15) -> bool:
+        """True when the pinnacle-derived period matches *attack_period*."""
+        check_positive("attack_period", attack_period)
+        if self.pinnacle_period is None:
+            return False
+        return abs(self.pinnacle_period - attack_period) <= rtol * attack_period
+
+
+def analyze_synchronization(series: np.ndarray, bin_width: float,
+                            *, threshold_sigma: float = 1.0) -> SynchronizationReport:
+    """Full Fig.-3 style analysis of a binned incoming-traffic series."""
+    check_positive("bin_width", bin_width)
+    series = np.asarray(series, dtype=float)
+    window = series.size * bin_width
+    pinnacles = count_pinnacles(series, threshold_sigma=threshold_sigma)
+    return SynchronizationReport(
+        pinnacles=pinnacles,
+        window=window,
+        pinnacle_period=window / pinnacles if pinnacles > 0 else None,
+        acf_period=autocorrelation_period(series, bin_width),
+        fft_period=fft_period(series, bin_width),
+    )

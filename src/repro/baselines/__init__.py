@@ -1,0 +1,17 @@
+"""Baseline attacks the paper compares against or builds upon.
+
+* :mod:`repro.baselines.flooding` -- the conventional flooding DoS
+  (the γ ≥ 1 degenerate case; trivially detectable);
+* :mod:`repro.baselines.shrew` -- the timeout-based shrew attack of
+  Kuzmanovic & Knightly (SIGCOMM 2003, reference [10]), whose periods
+  are the minRTO harmonics of Section 4.1.3;
+* :mod:`repro.baselines.roq` -- the Reduction-of-Quality attack of
+  Guirguis, Bestavros & Matta (ICNP 2004, reference [15]) targeting AQM
+  transients, with its potency metric.
+"""
+
+from repro.baselines.flooding import FloodingAttack
+from repro.baselines.roq import RoQAttack, roq_potency
+from repro.baselines.shrew import ShrewAttack
+
+__all__ = ["FloodingAttack", "RoQAttack", "ShrewAttack", "roq_potency"]

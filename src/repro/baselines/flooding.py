@@ -1,0 +1,51 @@
+"""The conventional flooding DoS baseline.
+
+A flooding attack is the ``T_space = 0`` degenerate case of the pulse
+train (Section 2.1): a single continuous burst.  Its normalized rate γ
+is at least 1 whenever the flood rate meets the bottleneck capacity, so
+it maximizes damage but -- per the Fig. 4 limits -- corresponds to an
+attacker with κ → 0 who ignores detection risk entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.attack import PulseTrain
+from repro.util.validate import check_positive
+
+__all__ = ["FloodingAttack"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FloodingAttack:
+    """A continuous flood of *rate_bps* for *duration* seconds."""
+
+    rate_bps: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate_bps", self.rate_bps)
+        check_positive("duration", self.duration)
+
+    def train(self) -> PulseTrain:
+        """The equivalent (single-pulse, zero-spacing) pulse train."""
+        return PulseTrain.flooding(self.rate_bps, self.duration)
+
+    def gamma(self, bottleneck_bps: float) -> float:
+        """Normalized average rate; ≥ 1 when the flood saturates the link."""
+        check_positive("bottleneck_bps", bottleneck_bps)
+        return self.rate_bps / bottleneck_bps
+
+    def total_bytes(self) -> float:
+        """Attack volume -- the quantity volume detectors alarm on."""
+        return self.rate_bps * self.duration / 8.0
+
+    def evades_volume_detection(self, bottleneck_bps: float,
+                                threshold_fraction: float = 0.9) -> bool:
+        """Always False once the flood rate exceeds θ·R_bottle.
+
+        Provided for symmetry with the PDoS planner: the flooding
+        baseline cannot trade damage for stealth.
+        """
+        return self.gamma(bottleneck_bps) < threshold_fraction

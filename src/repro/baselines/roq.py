@@ -1,0 +1,113 @@
+"""The Reduction-of-Quality (RoQ) attack (Guirguis, Bestavros & Matta).
+
+The paper's reference [15]: instead of timing pulses to TCP's recovery
+dynamics, the RoQ attacker repeatedly knocks the router's AQM out of its
+steady state -- each pulse drives RED's averaged queue through its
+transient, inflating the loss rate while the average recovers.  The
+attack is evaluated by its *potency*
+
+    Π = damage / cost^Ω
+
+where damage is the victims' throughput loss, cost is the attack volume,
+and Ω ≥ 1 weights the attacker's sensitivity to exposure (Ω plays the
+same role as the paper's κ).  This module provides the attack's pulse
+train plus the potency metric so the experiment harness can compare RoQ
+and PDoS tunings on the same scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.attack import PulseTrain
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = ["RoQAttack", "roq_potency"]
+
+
+def roq_potency(damage_bytes: float, cost_bytes: float,
+                omega: float = 1.0) -> float:
+    """The RoQ potency Π = damage / cost^Ω.
+
+    Args:
+        damage_bytes: victim throughput lost to the attack, bytes.
+        cost_bytes: attack traffic volume, bytes.
+        omega: exposure-aversion exponent (Ω ≥ 1 in [15]).
+    """
+    if damage_bytes < 0:
+        raise ValidationError(f"damage must be >= 0, got {damage_bytes}")
+    check_positive("cost_bytes", cost_bytes)
+    check_positive("omega", omega)
+    return damage_bytes / cost_bytes**omega
+
+
+@dataclasses.dataclass(frozen=True)
+class RoQAttack:
+    """A RED-transient-targeting pulse attack.
+
+    Attributes:
+        rate_bps: pulse magnitude; must comfortably exceed the bottleneck
+            so the instantaneous queue shoots past RED's max threshold.
+        extent: pulse width; tuned to RED's averaging time constant --
+            long enough to drag the EWMA into the dropping region
+            (roughly ``1 / w_q`` packet times), not longer.
+        period: inter-pulse period; chosen to be at least RED's recovery
+            (transient-decay) time so each pulse hits a re-stabilized AQM.
+    """
+
+    rate_bps: float
+    extent: float
+    period: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate_bps", self.rate_bps)
+        check_positive("extent", self.extent)
+        check_positive("period", self.period)
+        if self.extent >= self.period:
+            raise ValidationError(
+                f"extent {self.extent}s must be shorter than the period "
+                f"{self.period}s"
+            )
+
+    @classmethod
+    def tuned_for_red(cls, *, rate_bps: float, bottleneck_bps: float,
+                      w_q: float = 0.002,
+                      mean_pkt_bytes: float = 1500.0) -> "RoQAttack":
+        """Tune the pulse to RED's EWMA time constant.
+
+        The averaged queue's step response has time constant
+        ``1 / w_q`` packet arrivals; at the bottleneck's service rate
+        that is ``mean_pkt_bytes * 8 / (w_q * bottleneck_bps)`` seconds.
+        The pulse covers roughly half a time constant (enough to lift
+        the average into the dropping region) and repeats after three
+        time constants (letting the transient fully decay, which is what
+        distinguishes RoQ from a sustained flood).
+        """
+        check_positive("rate_bps", rate_bps)
+        check_positive("bottleneck_bps", bottleneck_bps)
+        check_positive("w_q", w_q)
+        packet_time = mean_pkt_bytes * 8.0 / bottleneck_bps
+        time_constant = packet_time / w_q
+        return cls(
+            rate_bps=rate_bps,
+            extent=0.5 * time_constant,
+            period=3.0 * time_constant,
+        )
+
+    def train(self, n_pulses: int) -> PulseTrain:
+        """The realizable pulse train for *n_pulses* pulses."""
+        return PulseTrain.uniform(
+            self.extent, self.rate_bps, self.period - self.extent, n_pulses
+        )
+
+    def gamma(self, bottleneck_bps: float) -> float:
+        """Normalized average rate (Eq. 4) for cross-attack comparison."""
+        check_positive("bottleneck_bps", bottleneck_bps)
+        return self.rate_bps * self.extent / (bottleneck_bps * self.period)
+
+    def cost_bytes(self, n_pulses: int) -> float:
+        """Attack volume over *n_pulses* pulses, bytes."""
+        if n_pulses < 1:
+            raise ValidationError(f"n_pulses must be >= 1, got {n_pulses}")
+        return self.rate_bps * self.extent * n_pulses / 8.0

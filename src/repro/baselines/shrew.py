@@ -1,0 +1,70 @@
+"""The timeout-based shrew attack (Kuzmanovic & Knightly, SIGCOMM 2003).
+
+The shrew attacker times its pulses to the victims' retransmission
+timeout: with period ``minRTO / n`` every retransmission after a timeout
+collides with the next pulse, so the victims never leave the timeout
+state.  Section 4.1.3 of the paper shows these periods as outliers of
+the AIMD-based analysis (Fig. 10); this module constructs the baseline
+attack directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.attack import PulseTrain
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = ["ShrewAttack"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrewAttack:
+    """A minRTO-synchronized pulse attack.
+
+    Attributes:
+        min_rto: the victims' minimum retransmission timeout, seconds
+            (1 s for ns-2's defaults, 200 ms for the paper's Linux hosts).
+        rate_bps: pulse rate; must exceed the bottleneck capacity so a
+            pulse reliably fills the queue within its width.
+        extent: pulse width; Kuzmanovic & Knightly recommend covering
+            slightly more than the victims' round-trip times so one pulse
+            catches every flow's window.
+        harmonic: n in the period ``minRTO / n`` (1 = the null frequency).
+    """
+
+    min_rto: float
+    rate_bps: float
+    extent: float
+    harmonic: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("min_rto", self.min_rto)
+        check_positive("rate_bps", self.rate_bps)
+        check_positive("extent", self.extent)
+        if self.harmonic < 1:
+            raise ValidationError(
+                f"harmonic must be >= 1, got {self.harmonic}"
+            )
+        if self.extent >= self.period:
+            raise ValidationError(
+                f"extent {self.extent}s must be shorter than the period "
+                f"{self.period}s (= minRTO / harmonic)"
+            )
+
+    @property
+    def period(self) -> float:
+        """The attack period ``minRTO / n``, seconds."""
+        return self.min_rto / self.harmonic
+
+    def train(self, n_pulses: int) -> PulseTrain:
+        """The realizable pulse train for *n_pulses* pulses."""
+        return PulseTrain.uniform(
+            self.extent, self.rate_bps, self.period - self.extent, n_pulses
+        )
+
+    def gamma(self, bottleneck_bps: float) -> float:
+        """Normalized average rate of the shrew train (Eq. 4)."""
+        check_positive("bottleneck_bps", bottleneck_bps)
+        return self.rate_bps * self.extent / (bottleneck_bps * self.period)

@@ -1,0 +1,212 @@
+"""Command-line experiment runner: ``python -m repro.cli <experiment>``.
+
+Runs any of the reproduction's experiments from the shell and prints
+the rendered series -- the same output the benchmark harness archives.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli fig03a
+    python -m repro.cli fig06 --full
+    python -m repro.cli all -o results/
+
+``--full`` sets ``REPRO_FULL=1`` for the invocation (paper-scale
+sweeps); ``-o DIR`` additionally writes each rendering to
+``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+from typing import Callable, Dict
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig06():  # deferred imports keep `--help` fast
+    from repro.experiments import run_gain_figure
+    return run_gain_figure(6).render()
+
+
+def _fig07():
+    from repro.experiments import run_gain_figure
+    return run_gain_figure(7).render()
+
+
+def _fig08():
+    from repro.experiments import run_gain_figure
+    return run_gain_figure(8).render()
+
+
+def _fig09():
+    from repro.experiments import run_gain_figure
+    return run_gain_figure(9).render()
+
+
+def _fig01():
+    from repro.experiments import run_fig01
+    return run_fig01().render()
+
+
+def _fig02():
+    from repro.experiments import run_fig02
+    return run_fig02().render()
+
+
+def _fig03a():
+    from repro.experiments import run_fig03_ns2
+    return run_fig03_ns2().render()
+
+
+def _fig03b():
+    from repro.experiments import run_fig03_testbed
+    return run_fig03_testbed().render()
+
+
+def _fig04():
+    from repro.experiments import run_fig04
+    return run_fig04().render()
+
+
+def _fig10():
+    from repro.experiments import run_fig10
+    return run_fig10().render()
+
+
+def _fig12():
+    from repro.experiments import run_fig12
+    return run_fig12().render()
+
+
+def _ablation_queues():
+    from repro.experiments import run_queue_ablation
+    return run_queue_ablation().render()
+
+
+def _ablation_model():
+    from repro.experiments import run_model_ablation
+    return run_model_ablation().render()
+
+
+def _detection():
+    from repro.experiments import run_detection_evasion
+    return run_detection_evasion().render()
+
+
+def _defense_rto():
+    from repro.experiments import run_rto_randomization
+    return run_rto_randomization().render()
+
+
+def _defense_choke():
+    from repro.experiments import run_aqm_hardening
+    return run_aqm_hardening().render()
+
+
+def _ablation_victim():
+    from repro.experiments import run_victim_ablation
+    return run_victim_ablation().render()
+
+
+def _flow_damage():
+    from repro.experiments import run_flow_damage
+    return run_flow_damage().render()
+
+
+def _distributed():
+    from repro.experiments import run_distributed_attack
+    return run_distributed_attack().render()
+
+
+def _mice_elephants():
+    from repro.experiments import run_mice_elephants
+    return run_mice_elephants().render()
+
+
+def _replication():
+    from repro.experiments.replication import replicate_gain_sweep
+    return replicate_gain_sweep().render()
+
+
+#: experiment name -> zero-argument runner returning rendered text.
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig01": _fig01,
+    "fig02": _fig02,
+    "fig03a": _fig03a,
+    "fig03b": _fig03b,
+    "fig04": _fig04,
+    "fig06": _fig06,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig12": _fig12,
+    "ablation-queues": _ablation_queues,
+    "ablation-model": _ablation_model,
+    "ablation-victim": _ablation_victim,
+    "flow-damage": _flow_damage,
+    "distributed": _distributed,
+    "mice-elephants": _mice_elephants,
+    "detection": _detection,
+    "defense-rto": _defense_rto,
+    "defense-choke": _defense_choke,
+    "replication": _replication,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the figures of 'Optimizing the Pulsing "
+            "Denial-of-Service Attacks' (Luo & Chang, DSN 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run ('list' prints the catalogue, 'all' runs "
+             "everything)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale sweeps (sets REPRO_FULL=1; much slower)",
+    )
+    parser.add_argument(
+        "-o", "--output-dir", type=pathlib.Path, default=None,
+        help="also write each rendering to DIR/<name>.txt",
+    )
+    return parser
+
+
+def _run_one(name: str, output_dir) -> None:
+    started = time.time()
+    text = EXPERIMENTS[name]()
+    elapsed = time.time() - started
+    print(text)
+    print(f"[{name}: {elapsed:.1f}s]\n")
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args.output_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

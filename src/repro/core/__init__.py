@@ -1,0 +1,122 @@
+"""The paper's primary contribution: the PDoS attack model and optimizer.
+
+Modules:
+
+* :mod:`repro.core.attack` -- the pulse-train model
+  ``A(T_extent, R_attack, T_space, N)`` and its derived quantities
+  (γ, μ, duty cycle, C_attack);
+* :mod:`repro.core.throughput` -- Eq. (1) converged window, Prop. 1
+  exact throughput, Lemmas 1-2, Prop. 2 degradation Γ and C_ψ;
+* :mod:`repro.core.gain` -- the attack gain G = Γ(1−γ)^κ and risk
+  preferences (Fig. 4);
+* :mod:`repro.core.optimizer` -- Prop. 3 closed-form γ*, Prop. 4 μ*,
+  Corollaries 1-4, and the end-to-end :func:`optimal_attack` planner;
+* :mod:`repro.core.classify` -- normal/under/over-gain outcome
+  classification (§4.1.1);
+* :mod:`repro.core.shrew` -- shrew-point prediction (§4.1.3, Fig. 10);
+* :mod:`repro.core.timeout_model` -- the timeout-aware throughput
+  extension (the paper's Section-5 future work, implemented).
+"""
+
+from repro.core.attack import PulseTrain
+from repro.core.classify import GainComparison, GainRegime, classify_gain
+from repro.core.distributed import (
+    DistributedAttack,
+    split_interleaved,
+    split_synchronized,
+)
+from repro.core.gain import (
+    RiskPreference,
+    attack_gain,
+    attack_gain_curve,
+    classify_kappa,
+    risk_curve,
+    risk_weight,
+)
+from repro.core.optimizer import (
+    OptimalAttack,
+    gain_derivative_sign,
+    optimal_attack,
+    optimal_gamma,
+    optimal_gamma_numerical,
+    optimal_mu,
+    optimal_period,
+    optimal_period_ratio,
+)
+from repro.core.shrew import (
+    ShrewPoint,
+    flag_shrew_points,
+    is_shrew_point,
+    nearest_shrew_harmonic,
+    shrew_periods,
+)
+from repro.core.timeout_attack import TimeoutAttackPlan, plan_timeout_attack
+from repro.core.timeout_model import (
+    FlowPrediction,
+    FlowRegime,
+    extended_attack_throughput,
+    extended_degradation,
+    extended_gain,
+    flow_regime,
+    per_flow_predictions,
+)
+from repro.core.throughput import (
+    VictimPopulation,
+    aggregate_attack_throughput,
+    c_psi,
+    c_victim,
+    converged_window,
+    degradation,
+    normal_throughput,
+    per_flow_attack_throughput_exact,
+    pulses_to_converge,
+    window_after_pulses,
+)
+
+__all__ = [
+    "DistributedAttack",
+    "GainComparison",
+    "GainRegime",
+    "OptimalAttack",
+    "PulseTrain",
+    "RiskPreference",
+    "FlowPrediction",
+    "FlowRegime",
+    "ShrewPoint",
+    "TimeoutAttackPlan",
+    "VictimPopulation",
+    "aggregate_attack_throughput",
+    "attack_gain",
+    "attack_gain_curve",
+    "c_psi",
+    "c_victim",
+    "classify_gain",
+    "classify_kappa",
+    "converged_window",
+    "degradation",
+    "extended_attack_throughput",
+    "extended_degradation",
+    "extended_gain",
+    "flag_shrew_points",
+    "flow_regime",
+    "gain_derivative_sign",
+    "is_shrew_point",
+    "nearest_shrew_harmonic",
+    "normal_throughput",
+    "optimal_attack",
+    "optimal_gamma",
+    "optimal_gamma_numerical",
+    "optimal_mu",
+    "optimal_period",
+    "optimal_period_ratio",
+    "per_flow_attack_throughput_exact",
+    "per_flow_predictions",
+    "plan_timeout_attack",
+    "pulses_to_converge",
+    "risk_curve",
+    "risk_weight",
+    "shrew_periods",
+    "split_interleaved",
+    "split_synchronized",
+    "window_after_pulses",
+]

@@ -1,0 +1,227 @@
+"""The PDoS attack model ``A(T_extent(n), R_attack(n), T_space(n), N)``.
+
+Section 2.1 of the paper models a pulsing DoS attack as a train of ``N``
+pulses: pulse ``n`` has width ``T_extent(n)`` seconds and sending rate
+``R_attack(n)`` bits/s, and is separated from the next pulse by
+``T_space(n)`` seconds.  ``T_space = 0`` for every pulse degenerates to a
+conventional flooding attack.
+
+The analysis (and this module's derived quantities) assumes a *uniform*
+train: all pulses identical and the spacing fixed, with attack period
+``T_AIMD = T_extent + T_space``.  Key derived quantities:
+
+* duty cycle ``T_extent / T_AIMD`` and its reciprocal-minus-one
+  ``mu = T_space / T_extent`` (the paper's μ, Section 3.1);
+* normalized average attack rate
+  ``gamma = R_attack * T_extent / (R_bottle * T_AIMD)`` (Eq. 4);
+* pulse-rate ratio ``C_attack = R_attack / R_bottle`` (Section 3.1), with
+  ``gamma = C_attack / (1 + mu)`` (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.validate import check_non_negative, check_positive
+
+__all__ = ["PulseTrain"]
+
+
+class PulseTrain:
+    """A PDoS pulse train ``A(T_extent(n), R_attack(n), T_space(n), N)``.
+
+    Construct directly with per-pulse sequences for the general model, or
+    with :meth:`uniform` for the identical-pulse trains the analysis
+    assumes.  All uniform-only derived properties raise
+    :class:`~repro.util.errors.ValidationError` on non-uniform trains.
+    """
+
+    def __init__(
+        self,
+        extents: Sequence[float],
+        rates_bps: Sequence[float],
+        spaces: Sequence[float],
+    ) -> None:
+        if len(extents) == 0:
+            raise ValidationError("a pulse train needs at least one pulse")
+        if len(rates_bps) != len(extents):
+            raise ValidationError(
+                f"got {len(extents)} extents but {len(rates_bps)} rates"
+            )
+        if len(spaces) != len(extents) - 1:
+            raise ValidationError(
+                f"need N-1 = {len(extents) - 1} spacings, got {len(spaces)}"
+            )
+        for i, extent in enumerate(extents):
+            check_positive(f"extents[{i}]", extent)
+        for i, rate in enumerate(rates_bps):
+            check_positive(f"rates_bps[{i}]", rate)
+        for i, space in enumerate(spaces):
+            check_non_negative(f"spaces[{i}]", space)
+        self.extents: Tuple[float, ...] = tuple(float(x) for x in extents)
+        self.rates_bps: Tuple[float, ...] = tuple(float(x) for x in rates_bps)
+        self.spaces: Tuple[float, ...] = tuple(float(x) for x in spaces)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, extent: float, rate_bps: float, space: float,
+                n_pulses: int) -> "PulseTrain":
+        """Identical pulses: the train the paper's analysis assumes."""
+        if n_pulses < 1:
+            raise ValidationError(f"n_pulses must be >= 1, got {n_pulses}")
+        return cls(
+            [extent] * n_pulses,
+            [rate_bps] * n_pulses,
+            [space] * max(n_pulses - 1, 0),
+        )
+
+    @classmethod
+    def flooding(cls, rate_bps: float, duration: float) -> "PulseTrain":
+        """A conventional flooding attack: one continuous 'pulse'."""
+        return cls.uniform(duration, rate_bps, 0.0, 1)
+
+    @classmethod
+    def from_gamma(cls, *, gamma: float, rate_bps: float, extent: float,
+                   bottleneck_bps: float, n_pulses: int) -> "PulseTrain":
+        """Build the uniform train achieving a target normalized rate γ.
+
+        Inverts Eq. (4): ``T_AIMD = R_attack T_extent / (γ R_bottle)``,
+        so ``T_space = T_AIMD - T_extent`` -- which must be non-negative,
+        i.e. γ cannot exceed ``C_attack = R_attack / R_bottle``.
+        """
+        check_positive("gamma", gamma)
+        check_positive("rate_bps", rate_bps)
+        check_positive("extent", extent)
+        check_positive("bottleneck_bps", bottleneck_bps)
+        c_attack = rate_bps / bottleneck_bps
+        if gamma > c_attack + 1e-12:
+            raise ValidationError(
+                f"gamma={gamma} unreachable: exceeds C_attack="
+                f"R_attack/R_bottle={c_attack:.4f} (need a lower duty cycle "
+                f"than a continuous pulse)"
+            )
+        period = rate_bps * extent / (gamma * bottleneck_bps)
+        space = max(period - extent, 0.0)
+        return cls.uniform(extent, rate_bps, space, n_pulses)
+
+    @classmethod
+    def from_mu(cls, *, mu: float, rate_bps: float, extent: float,
+                n_pulses: int) -> "PulseTrain":
+        """Build the uniform train from the paper's μ = T_space / T_extent."""
+        check_non_negative("mu", mu)
+        return cls.uniform(extent, rate_bps, mu * extent, n_pulses)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def n_pulses(self) -> int:
+        """N, the total number of pulses."""
+        return len(self.extents)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every pulse (and every spacing) is identical."""
+        return (
+            len(set(self.extents)) == 1
+            and len(set(self.rates_bps)) == 1
+            and len(set(self.spaces)) <= 1
+        )
+
+    @property
+    def is_flooding(self) -> bool:
+        """True when all spacings are zero (a conventional flooding attack)."""
+        return all(space == 0.0 for space in self.spaces)
+
+    def _require_uniform(self, what: str) -> None:
+        if not self.is_uniform:
+            raise ValidationError(f"{what} is only defined for uniform trains")
+
+    # ------------------------------------------------------------------
+    # uniform-train analytics (Section 2.1 / 3.1)
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> float:
+        """T_extent of a uniform train, seconds."""
+        self._require_uniform("extent")
+        return self.extents[0]
+
+    @property
+    def rate_bps(self) -> float:
+        """R_attack of a uniform train, bits per second."""
+        self._require_uniform("rate_bps")
+        return self.rates_bps[0]
+
+    @property
+    def space(self) -> float:
+        """T_space of a uniform train, seconds (0.0 for a single pulse)."""
+        self._require_uniform("space")
+        return self.spaces[0] if self.spaces else 0.0
+
+    @property
+    def period(self) -> float:
+        """The attack period T_AIMD = T_extent + T_space, seconds."""
+        self._require_uniform("period")
+        return self.extent + self.space
+
+    @property
+    def duty_cycle(self) -> float:
+        """T_extent / T_AIMD ∈ (0, 1]."""
+        return self.extent / self.period
+
+    @property
+    def mu(self) -> float:
+        """μ = T_space / T_extent, the reciprocal duty cycle minus one."""
+        return self.space / self.extent
+
+    def mean_rate_bps(self) -> float:
+        """Long-run average attack rate R_attack · duty-cycle, bits/s."""
+        self._require_uniform("mean_rate_bps")
+        return self.rate_bps * self.duty_cycle
+
+    def gamma(self, bottleneck_bps: float) -> float:
+        """Normalized average attack rate γ (Eq. 4)."""
+        check_positive("bottleneck_bps", bottleneck_bps)
+        return self.mean_rate_bps() / bottleneck_bps
+
+    def c_attack(self, bottleneck_bps: float) -> float:
+        """Pulse-rate ratio C_attack = R_attack / R_bottle (Section 3.1)."""
+        check_positive("bottleneck_bps", bottleneck_bps)
+        return self.rate_bps / bottleneck_bps
+
+    # ------------------------------------------------------------------
+    # timeline
+    # ------------------------------------------------------------------
+    def pulse_intervals(self, start: float = 0.0) -> List[Tuple[float, float]]:
+        """``[(begin, end)]`` of every pulse, offset by *start* seconds."""
+        intervals = []
+        t = start
+        for index, extent in enumerate(self.extents):
+            intervals.append((t, t + extent))
+            t += extent
+            if index < len(self.spaces):
+                t += self.spaces[index]
+        return intervals
+
+    def total_duration(self) -> float:
+        """Time from the first pulse's start to the last pulse's end."""
+        return sum(self.extents) + sum(self.spaces)
+
+    def total_attack_bits(self) -> float:
+        """Bits transmitted over the whole train."""
+        return float(
+            np.dot(np.asarray(self.extents), np.asarray(self.rates_bps))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_uniform:
+            return (
+                f"<PulseTrain N={self.n_pulses} T_extent={self.extent * 1e3:.0f}ms "
+                f"T_space={self.space * 1e3:.0f}ms R={self.rate_bps / 1e6:.0f}Mbps>"
+            )
+        return f"<PulseTrain N={self.n_pulses} (non-uniform)>"

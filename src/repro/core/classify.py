@@ -1,0 +1,102 @@
+"""Attack-outcome classification: normal-, under-, and over-gain (§4.1.1).
+
+The paper sorts experimental outcomes by the discrepancy between the
+measured attack gain and the analytical prediction:
+
+* **normal-gain** -- simulation and analysis agree closely (the pulses
+  reliably drive flows into fast recovery, as the model assumes);
+* **under-gain** -- the analysis *over-estimates* the measured gain
+  (the pulse rate is too low to hit every flow);
+* **over-gain** -- the analysis *under-estimates* the measured gain
+  (pulses force timeouts rather than fast recovery, degrading
+  throughput beyond the FR-only model).
+
+The classifier compares curves point-wise over the overlapping γ range
+and aggregates the signed relative discrepancy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = ["GainRegime", "GainComparison", "classify_gain"]
+
+
+class GainRegime(enum.Enum):
+    """The three §4.1.1 outcome classes."""
+
+    NORMAL = "normal-gain"
+    UNDER = "under-gain"
+    OVER = "over-gain"
+
+
+@dataclasses.dataclass(frozen=True)
+class GainComparison:
+    """Result of comparing measured and analytical gain curves.
+
+    Attributes:
+        regime: the §4.1.1 class.
+        mean_discrepancy: mean of (measured − analytical), gain units.
+        mean_abs_discrepancy: mean |measured − analytical|.
+        n_points: samples compared.
+    """
+
+    regime: GainRegime
+    mean_discrepancy: float
+    mean_abs_discrepancy: float
+    n_points: int
+
+
+def classify_gain(
+    measured: Sequence[float],
+    analytical: Sequence[float],
+    *,
+    tolerance: float = 0.1,
+) -> GainComparison:
+    """Classify an experiment by gain discrepancy.
+
+    Args:
+        measured: experimental attack gains (per γ sample).
+        analytical: model-predicted gains at the same γ samples.
+        tolerance: absolute mean-discrepancy band treated as agreement
+            (gain is dimensionless in [0, 1], so 0.1 ≈ "within a tenth
+            of full scale", matching the visual closeness in Figs. 6-9).
+
+    Returns:
+        A :class:`GainComparison`; ``UNDER`` when the analysis
+        systematically over-estimates, ``OVER`` when it under-estimates.
+    """
+    check_positive("tolerance", tolerance)
+    measured_arr = np.asarray(measured, dtype=float)
+    analytical_arr = np.asarray(analytical, dtype=float)
+    if measured_arr.shape != analytical_arr.shape:
+        raise ValidationError(
+            f"shape mismatch: measured {measured_arr.shape} vs analytical "
+            f"{analytical_arr.shape}"
+        )
+    if measured_arr.size == 0:
+        raise ValidationError("need at least one sample to classify")
+
+    signed = measured_arr - analytical_arr
+    mean_signed = float(np.mean(signed))
+    mean_abs = float(np.mean(np.abs(signed)))
+
+    if abs(mean_signed) <= tolerance:
+        regime = GainRegime.NORMAL
+    elif mean_signed < 0:
+        regime = GainRegime.UNDER   # analysis over-estimated the damage
+    else:
+        regime = GainRegime.OVER    # analysis under-estimated the damage
+    return GainComparison(
+        regime=regime,
+        mean_discrepancy=mean_signed,
+        mean_abs_discrepancy=mean_abs,
+        n_points=int(measured_arr.size),
+    )

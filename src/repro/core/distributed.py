@@ -1,0 +1,117 @@
+"""Distributed (multi-source) pulsing attacks.
+
+The paper's introduction frames PDoS within DDoS practice; this module
+provides the two canonical ways to split one logical pulse train
+``A(T_extent, R_attack, T_space, N)`` across ``k`` attack sources:
+
+* **synchronized** -- every source fires at the same instants at
+  ``R_attack / k``.  The aggregate at the bottleneck is *identical* to
+  the single-source attack, but each source's pulse rate (and average
+  rate) is divided by ``k``, sliding it under per-source rate floors.
+* **interleaved** -- each source keeps the full pulse rate but fires
+  every ``k``-th pulse, phase-shifted by ``T_AIMD``.  The aggregate is
+  again the original train, while each source's *period* stretches to
+  ``k·T_AIMD``; per-source average rate drops by ``k`` and the
+  per-source traffic no longer shows the victim-facing period at all
+  (a per-source DTW detector sees period ``k·T_AIMD``).
+
+Both splits preserve the victim-side attack exactly (same bytes at the
+same times), so the paper's Γ and gain analysis applies unchanged to
+the aggregate -- the split is purely a stealth transformation, and the
+detection experiments quantify how much it buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.attack import PulseTrain
+from repro.util.errors import ValidationError
+
+__all__ = ["DistributedAttack", "split_synchronized", "split_interleaved"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributedAttack:
+    """A pulse train split across multiple sources.
+
+    Attributes:
+        trains: one per source.
+        offsets: each source's start-time offset, seconds.
+        strategy: "synchronized" or "interleaved".
+        original: the logical single-source train.
+    """
+
+    trains: List[PulseTrain]
+    offsets: List[float]
+    strategy: str
+    original: PulseTrain
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.trains)
+
+    def per_source_gamma(self, bottleneck_bps: float) -> float:
+        """Each source's normalized average rate (uniform by symmetry).
+
+        Both strategies divide the per-source γ by the source count --
+        synchronized via the rate, interleaved via the period.
+        """
+        return self.trains[0].gamma(bottleneck_bps)
+
+    def aggregate_bits(self) -> float:
+        """Total bits across sources (must equal the original train's)."""
+        return sum(train.total_attack_bits() for train in self.trains)
+
+
+def _require_uniform(train: PulseTrain) -> None:
+    if not train.is_uniform:
+        raise ValidationError("only uniform trains can be split")
+
+
+def split_synchronized(train: PulseTrain, n_sources: int) -> DistributedAttack:
+    """Split by rate: every source pulses together at R/k."""
+    _require_uniform(train)
+    if n_sources < 1:
+        raise ValidationError(f"n_sources must be >= 1, got {n_sources}")
+    per_source = PulseTrain.uniform(
+        train.extent,
+        train.rate_bps / n_sources,
+        train.space,
+        train.n_pulses,
+    )
+    return DistributedAttack(
+        trains=[per_source] * n_sources,
+        offsets=[0.0] * n_sources,
+        strategy="synchronized",
+        original=train,
+    )
+
+
+def split_interleaved(train: PulseTrain, n_sources: int) -> DistributedAttack:
+    """Split by time: source i fires pulses i, i+k, i+2k, ...
+
+    Requires the pulse count to be divisible by ``n_sources`` so every
+    source carries the same load (pad the original train if needed).
+    """
+    _require_uniform(train)
+    if n_sources < 1:
+        raise ValidationError(f"n_sources must be >= 1, got {n_sources}")
+    if train.n_pulses % n_sources != 0:
+        raise ValidationError(
+            f"n_pulses ({train.n_pulses}) must be divisible by n_sources "
+            f"({n_sources}); pad the train"
+        )
+    pulses_each = train.n_pulses // n_sources
+    period = train.period
+    stretched_space = n_sources * period - train.extent
+    per_source = PulseTrain.uniform(
+        train.extent, train.rate_bps, stretched_space, pulses_each,
+    )
+    return DistributedAttack(
+        trains=[per_source] * n_sources,
+        offsets=[i * period for i in range(n_sources)],
+        strategy="interleaved",
+        original=train,
+    )

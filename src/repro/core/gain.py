@@ -1,0 +1,82 @@
+"""The attack gain ``G_attack = Γ · (1 − γ)^κ`` and risk preferences (Section 3).
+
+The attacker trades throughput damage Γ against exposure: the factor
+``(1 − γ)^κ`` discounts the gain by the normalized average attack rate
+γ, with the exponent κ encoding the attacker's risk preference
+(Fig. 4):
+
+* κ > 1 -- *risk-averse*: increasingly unwilling to raise the rate;
+* κ = 1 -- *risk-neutral*;
+* 0 < κ < 1 -- *risk-loving*: damage outweighs concealment;
+* κ → 0 recovers the flooding attacker (risk ignored), κ → ∞ an
+  attacker who never attacks.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.util.validate import check_fraction, check_positive
+
+__all__ = ["RiskPreference", "risk_weight", "attack_gain", "attack_gain_curve",
+           "risk_curve", "classify_kappa"]
+
+
+class RiskPreference(enum.Enum):
+    """The three attacker behaviours of Fig. 4."""
+
+    RISK_AVERSE = "risk-averse"    #: κ > 1
+    RISK_NEUTRAL = "risk-neutral"  #: κ = 1
+    RISK_LOVING = "risk-loving"    #: κ < 1
+
+
+def classify_kappa(kappa: float) -> RiskPreference:
+    """Map a risk exponent κ to its behavioural class."""
+    check_positive("kappa", kappa)
+    if kappa > 1.0:
+        return RiskPreference.RISK_AVERSE
+    if kappa < 1.0:
+        return RiskPreference.RISK_LOVING
+    return RiskPreference.RISK_NEUTRAL
+
+
+def risk_weight(gamma: float, kappa: float) -> float:
+    """``(1 − γ)^κ`` -- the attacker's detection-risk discount."""
+    check_fraction("gamma", gamma)
+    check_positive("kappa", kappa)
+    return (1.0 - gamma) ** kappa
+
+
+def attack_gain(gamma: float, c_psi_value: float, kappa: float) -> float:
+    """Eq. (5)/(12): ``G_attack = (1 − C_ψ/γ)(1 − γ)^κ``.
+
+    Negative values (γ ≤ C_ψ, i.e. an attack too weak to degrade
+    anything under the model) are returned as-is so optimizers see the
+    true objective; display code may clamp at zero.
+    """
+    check_fraction("gamma", gamma)
+    check_positive("c_psi_value", c_psi_value)
+    check_positive("kappa", kappa)
+    return (1.0 - c_psi_value / gamma) * (1.0 - gamma) ** kappa
+
+
+def attack_gain_curve(gammas: np.ndarray, c_psi_value: float,
+                      kappa: float) -> np.ndarray:
+    """Vectorized :func:`attack_gain` over an array of γ values in (0, 1)."""
+    check_positive("c_psi_value", c_psi_value)
+    check_positive("kappa", kappa)
+    gammas = np.asarray(gammas, dtype=float)
+    if np.any(gammas <= 0.0) or np.any(gammas >= 1.0):
+        raise ValueError("all gamma values must lie in (0, 1)")
+    return (1.0 - c_psi_value / gammas) * (1.0 - gammas) ** kappa
+
+
+def risk_curve(gammas: np.ndarray, kappa: float) -> np.ndarray:
+    """The Fig. 4 curve ``(1 − γ)^κ`` over an array of γ values in [0, 1]."""
+    check_positive("kappa", kappa)
+    gammas = np.asarray(gammas, dtype=float)
+    if np.any(gammas < 0.0) or np.any(gammas > 1.0):
+        raise ValueError("all gamma values must lie in [0, 1]")
+    return (1.0 - gammas) ** kappa

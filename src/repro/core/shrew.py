@@ -1,0 +1,90 @@
+"""The PDoS / shrew-attack relationship (Section 4.1.3, Fig. 10).
+
+An AIMD-based attack whose period lands near ``minRTO / n`` (for integer
+``n``) degenerates into the timeout-based *shrew* attack of Kuzmanovic &
+Knightly: each pulse arrives just as the victims' retransmission timers
+expire, locking them in the timeout state.  At those periods the actual
+damage greatly exceeds the FR-only analytical prediction -- the Fig. 10
+outliers.
+
+This module predicts and identifies such *shrew points* so experiment
+harnesses can flag them, exactly as the paper circles them in Fig. 10.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = ["shrew_periods", "nearest_shrew_harmonic", "is_shrew_point",
+           "flag_shrew_points", "ShrewPoint"]
+
+
+def shrew_periods(min_rto: float, max_harmonic: int = 5) -> List[float]:
+    """The attack periods ``minRTO / n`` for n = 1 .. max_harmonic, seconds.
+
+    The paper's Fig. 10 marks shrew points at T_AIMD = 1000 ms, 500 ms and
+    1000/3 ms for ns-2's minRTO of 1 s (harmonics n = 1, 2, 3).
+    """
+    check_positive("min_rto", min_rto)
+    if max_harmonic < 1:
+        raise ValidationError(f"max_harmonic must be >= 1, got {max_harmonic}")
+    return [min_rto / n for n in range(1, max_harmonic + 1)]
+
+
+def nearest_shrew_harmonic(period: float, min_rto: float,
+                           max_harmonic: int = 5) -> int:
+    """The harmonic n whose ``minRTO / n`` is closest to *period*."""
+    check_positive("period", period)
+    candidates = shrew_periods(min_rto, max_harmonic)
+    return min(
+        range(len(candidates)), key=lambda i: abs(candidates[i] - period)
+    ) + 1
+
+
+def is_shrew_point(period: float, min_rto: float, *,
+                   rtol: float = 0.08, max_harmonic: int = 5) -> bool:
+    """True when *period* is within *rtol* of some ``minRTO / n``.
+
+    The tolerance reflects that the timeout lock-in needs only an
+    approximate match (RTO estimation jitters around minRTO).
+    """
+    check_positive("period", period)
+    check_positive("rtol", rtol)
+    for candidate in shrew_periods(min_rto, max_harmonic):
+        if abs(period - candidate) <= rtol * candidate:
+            return True
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrewPoint:
+    """A sweep sample flagged as a shrew point.
+
+    Attributes:
+        index: position in the swept sequence.
+        period: the attack period T_AIMD at that sample, seconds.
+        harmonic: the matched n in ``minRTO / n``.
+    """
+
+    index: int
+    period: float
+    harmonic: int
+
+
+def flag_shrew_points(periods: Sequence[float], min_rto: float, *,
+                      rtol: float = 0.08,
+                      max_harmonic: int = 5) -> List[ShrewPoint]:
+    """Identify every shrew point in a swept list of attack periods."""
+    flagged = []
+    for index, period in enumerate(periods):
+        if is_shrew_point(period, min_rto, rtol=rtol, max_harmonic=max_harmonic):
+            flagged.append(ShrewPoint(
+                index=index,
+                period=period,
+                harmonic=nearest_shrew_harmonic(period, min_rto, max_harmonic),
+            ))
+    return flagged

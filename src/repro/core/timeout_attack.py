@@ -1,0 +1,152 @@
+"""Timeout-based PDoS attack planning (the paper's *other* attack class).
+
+The paper analyses the AIMD-based attack and cites its companion (NDSS
+2005, reference [13]) for the *timeout-based* class: pulses timed to the
+victims' retransmission timeout so that every retransmission collides
+with a pulse (the shrew mechanism of reference [10]).  This module plans
+such an attack from first principles:
+
+* **Period** -- a minRTO harmonic ``minRTO / n`` (Section 4.1.3), so the
+  backed-off retransmission timer (1x, 2x, 4x, ... minRTO) always lands
+  inside a pulse.
+* **Extent** -- at least the victims' largest RTT: the pulse must outlive
+  one round trip so that no victim can sneak a full window through
+  between the pulse's head reaching the queue and its own packets
+  arriving (Kuzmanovic & Knightly's design rule).
+* **Rate** -- enough to fill the bottleneck buffer within the pulse and
+  hold it full: the queue gains ``(R_attack − R_bottle)`` bits/s, so
+  filling ``B`` bytes within the extent needs
+  ``R_attack ≥ R_bottle + 8·B / T_extent`` (a head-room factor covers
+  RED's early-drop region starting below the physical limit).
+
+The planner reports the resulting γ so the attacker can check the plan
+against the same detection-risk budget as the AIMD-based optimizer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.attack import PulseTrain
+from repro.core.shrew import is_shrew_point
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = ["TimeoutAttackPlan", "plan_timeout_attack"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TimeoutAttackPlan:
+    """A fully determined timeout-based attack.
+
+    Attributes:
+        period: the pulse period ``minRTO / harmonic``, seconds.
+        extent: the pulse width, seconds.
+        rate_bps: the pulse rate.
+        harmonic: n in ``minRTO / n``.
+        min_rto: the victims' minimum RTO the plan targets.
+        buffer_bytes: the bottleneck buffer the rate was sized against.
+        bottleneck_bps: the bottleneck capacity.
+    """
+
+    period: float
+    extent: float
+    rate_bps: float
+    harmonic: int
+    min_rto: float
+    buffer_bytes: float
+    bottleneck_bps: float
+
+    @property
+    def gamma(self) -> float:
+        """Normalized average attack rate (Eq. 4) -- the exposure metric."""
+        return self.rate_bps * self.extent / (self.bottleneck_bps * self.period)
+
+    def train(self, n_pulses: int) -> PulseTrain:
+        """The launchable pulse train."""
+        return PulseTrain.uniform(
+            self.extent, self.rate_bps, self.period - self.extent, n_pulses,
+        )
+
+    def time_to_fill_buffer(self) -> float:
+        """Seconds for a pulse to fill the buffer from empty."""
+        surplus = self.rate_bps - self.bottleneck_bps
+        return 8.0 * self.buffer_bytes / surplus
+
+    def outage_fraction(self) -> float:
+        """Fraction of each pulse during which the buffer is full.
+
+        The loss a victim's retransmission faces is roughly this
+        fraction (plus RED early drops); near zero means the plan's rate
+        or extent is too small for a reliable lock-in.
+        """
+        return max(0.0, 1.0 - self.time_to_fill_buffer() / self.extent)
+
+    def render(self) -> str:
+        return "\n".join([
+            "Timeout-based PDoS plan (shrew mechanism)",
+            f"period  T_AIMD  = {self.period * 1e3:7.1f} ms "
+            f"(minRTO {self.min_rto * 1e3:.0f} ms / harmonic {self.harmonic})",
+            f"extent  T_extent= {self.extent * 1e3:7.1f} ms",
+            f"rate    R_attack= {self.rate_bps / 1e6:7.2f} Mb/s",
+            f"gamma           = {self.gamma:7.3f}",
+            f"buffer fill time= {self.time_to_fill_buffer() * 1e3:7.1f} ms "
+            f"(outage {self.outage_fraction():.0%} of each pulse)",
+        ])
+
+
+def plan_timeout_attack(
+    *,
+    min_rto: float,
+    bottleneck_bps: float,
+    buffer_bytes: float,
+    rtt_max: float,
+    harmonic: int = 1,
+    headroom: float = 1.5,
+) -> TimeoutAttackPlan:
+    """Plan a timeout-based attack against a known bottleneck.
+
+    Args:
+        min_rto: the victims' minimum retransmission timeout.
+        bottleneck_bps: bottleneck capacity.
+        buffer_bytes: bottleneck buffer size.
+        rtt_max: the largest victim RTT (sets the pulse width).
+        harmonic: which ``minRTO / n`` period to use; higher harmonics
+            raise γ (more exposure) but survive RTO estimation noise
+            better.
+        headroom: multiplies the minimum buffer-filling rate so the
+            queue saturates well before the pulse ends.
+
+    Raises:
+        ValidationError: when no valid pulse fits -- e.g. the victims'
+            RTT exceeds the harmonic period, so a pulse long enough to
+            cover one RTT could never stay silent between pulses.
+    """
+    check_positive("min_rto", min_rto)
+    check_positive("bottleneck_bps", bottleneck_bps)
+    check_positive("buffer_bytes", buffer_bytes)
+    check_positive("rtt_max", rtt_max)
+    check_positive("headroom", headroom)
+    if harmonic < 1:
+        raise ValidationError(f"harmonic must be >= 1, got {harmonic}")
+
+    period = min_rto / harmonic
+    extent = rtt_max
+    if extent >= period:
+        raise ValidationError(
+            f"pulse width (rtt_max={rtt_max}s) must be below the period "
+            f"{period}s; use a lower harmonic or accept partial coverage"
+        )
+    fill_rate = bottleneck_bps + 8.0 * buffer_bytes / extent
+    rate = headroom * fill_rate
+    plan = TimeoutAttackPlan(
+        period=period,
+        extent=extent,
+        rate_bps=rate,
+        harmonic=harmonic,
+        min_rto=min_rto,
+        buffer_bytes=buffer_bytes,
+        bottleneck_bps=bottleneck_bps,
+    )
+    assert is_shrew_point(plan.period, min_rto)  # by construction
+    return plan

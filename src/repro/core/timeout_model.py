@@ -1,0 +1,225 @@
+"""Timeout-aware throughput model (the paper's stated future work).
+
+Section 5 lists the base model's limitation: it assumes every pulse puts
+every victim into fast recovery, so it "does not capture the impact of
+possible timeouts", which is exactly why high-intensity attacks land in
+the *over-gain* regime and why shrew periods produce outliers (Fig. 10).
+
+This module extends Proposition 2 with per-flow timeout effects:
+
+* **Regime test.**  After a pulse the window drops to ``b·W_c``; if that
+  leaves fewer than ``dupack_threshold + 1`` segments in flight, the
+  receiver cannot generate the three duplicate ACKs fast retransmit
+  needs, so the flow times out instead (RFC 2581's well-known small-
+  window failure mode).
+* **Timeout period model.**  A timed-out flow idles for
+  ``RTO = max(minRTO, RTT)``, retransmits, then slow-starts for the rest
+  of the attack period, delivering ``(g^k − 1)/(g − 1)`` segments over
+  ``k`` RTTs with per-RTT growth ``g = 1 + 1/d``.
+* **Shrew lock-in.**  When the attack period sits on a minRTO harmonic
+  (:func:`repro.core.shrew.is_shrew_point`), each retransmission collides
+  with the next pulse, so the flow delivers essentially nothing -- the
+  paper's Fig.-10 outliers.
+
+The resulting :func:`extended_degradation` reduces to Proposition 2 when
+every flow stays in the FR regime, and otherwise predicts the larger
+damage the simulations measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List
+
+from repro.core.shrew import is_shrew_point
+from repro.core.throughput import (
+    VictimPopulation,
+    converged_window,
+    normal_throughput,
+)
+from repro.util.validate import check_positive
+
+__all__ = [
+    "FlowRegime",
+    "flow_regime",
+    "fr_packets_per_period",
+    "to_packets_per_period",
+    "extended_attack_throughput",
+    "extended_degradation",
+    "extended_gain",
+    "FlowPrediction",
+    "per_flow_predictions",
+]
+
+#: Duplicate-ACK threshold of fast retransmit (RFC 2581).
+_DUPACK_THRESHOLD = 3
+
+
+class FlowRegime(enum.Enum):
+    """How a victim flow responds to each attack pulse."""
+
+    FAST_RECOVERY = "fr"   #: the base model's assumption (Prop. 1/2)
+    TIMEOUT = "to"         #: window too small for 3 dup ACKs
+    LOCKED = "locked"      #: shrew lock-in: retransmissions hit pulses
+
+
+def flow_regime(*, w_converged: float, decrease: float, period: float,
+                min_rto: float, dupack_threshold: int = _DUPACK_THRESHOLD,
+                shrew_rtol: float = 0.08) -> FlowRegime:
+    """Classify one flow's per-pulse response.
+
+    Args:
+        w_converged: the flow's Eq.-1 converged window W_c, packets.
+        decrease: the AIMD multiplicative factor b.
+        period: the attack period T_AIMD, seconds.
+        min_rto: the victim stack's minimum RTO, seconds.
+        dupack_threshold: duplicate ACKs needed for fast retransmit.
+        shrew_rtol: tolerance for the minRTO-harmonic match.
+    """
+    check_positive("w_converged", w_converged)
+    check_positive("period", period)
+    check_positive("min_rto", min_rto)
+    if decrease * w_converged >= dupack_threshold + 1:
+        return FlowRegime.FAST_RECOVERY
+    if is_shrew_point(period, min_rto, rtol=shrew_rtol):
+        return FlowRegime.LOCKED
+    return FlowRegime.TIMEOUT
+
+
+def fr_packets_per_period(victims: VictimPopulation, period: float,
+                          rtt: float) -> float:
+    """The base model's per-period packet count (the Lemma-2 sawtooth)."""
+    a, b = victims.aimd.increase, victims.aimd.decrease
+    d = victims.delayed_ack
+    rounds = period / rtt
+    return a * (1.0 + b) / (2.0 * d * (1.0 - b)) * rounds * rounds
+
+
+def to_packets_per_period(victims: VictimPopulation, period: float,
+                          rtt: float, min_rto: float) -> float:
+    """Packets a timed-out flow delivers per attack period.
+
+    One retransmission after ``RTO = max(minRTO, RTT)``, then slow start
+    with growth ``g = 1 + 1/d`` per RTT for the time remaining until the
+    next pulse.  The slow-start window is capped at the flow's converged
+    window W_c (beyond that the next pulse would have hit anyway).
+    """
+    check_positive("min_rto", min_rto)
+    d = victims.delayed_ack
+    rto = max(min_rto, rtt)
+    remaining = period - rto
+    if remaining <= 0:
+        return 1.0  # only the (eventually successful) retransmission
+    growth = 1.0 + 1.0 / d
+    rounds = remaining / rtt
+    w_cap = converged_window(victims.aimd, d, period, rtt)
+    packets = 0.0
+    window = 1.0
+    while rounds > 0:
+        step = min(rounds, 1.0)
+        packets += window * step
+        window = min(window * growth, max(w_cap, 1.0))
+        rounds -= 1.0
+    return packets
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowPrediction:
+    """The extended model's view of one victim flow.
+
+    Attributes:
+        rtt: the flow's round-trip time.
+        w_converged: Eq.-1 converged window, packets.
+        regime: the per-pulse response class.
+        packets_per_period: predicted segments delivered per T_AIMD.
+    """
+
+    rtt: float
+    w_converged: float
+    regime: FlowRegime
+    packets_per_period: float
+
+
+def per_flow_predictions(victims: VictimPopulation, *, period: float,
+                         min_rto: float,
+                         bottleneck_bps: float) -> List[FlowPrediction]:
+    """Classify every victim flow and predict its per-period delivery.
+
+    Unlike Lemma 2, the prediction is *capacity-coupled*: each flow's
+    per-period delivery is capped at its fair share of the bottleneck
+    (``period·R_bottle / (8·S_packet·N_flow)`` segments).  Without the
+    cap, short-RTT flows' uncapped sawtooths (``(T_AIMD/RTT)²`` grows
+    without bound) dominate the aggregate and mask the long-RTT flows'
+    timeout losses -- the very effect this extension models.
+    """
+    check_positive("period", period)
+    check_positive("bottleneck_bps", bottleneck_bps)
+    fair_share = (
+        period * bottleneck_bps / (8.0 * victims.s_packet * victims.n_flows)
+    )
+    predictions = []
+    for rtt in victims.rtts:
+        w_c = converged_window(victims.aimd, victims.delayed_ack, period, rtt)
+        regime = flow_regime(
+            w_converged=w_c,
+            decrease=victims.aimd.decrease,
+            period=period,
+            min_rto=min_rto,
+        )
+        if regime is FlowRegime.FAST_RECOVERY:
+            packets = fr_packets_per_period(victims, period, rtt)
+        elif regime is FlowRegime.TIMEOUT:
+            packets = to_packets_per_period(victims, period, rtt, min_rto)
+        else:  # LOCKED: only doomed retransmissions leave the host
+            packets = 1.0
+        predictions.append(FlowPrediction(
+            rtt=rtt, w_converged=w_c, regime=regime,
+            packets_per_period=min(packets, fair_share),
+        ))
+    return predictions
+
+
+def extended_attack_throughput(victims: VictimPopulation, *, period: float,
+                               n_pulses: int, min_rto: float,
+                               bottleneck_bps: float) -> float:
+    """Aggregate Ψ_attack in bytes under the timeout-aware model."""
+    if n_pulses < 2:
+        raise ValueError(f"n_pulses must be >= 2, got {n_pulses}")
+    predictions = per_flow_predictions(
+        victims, period=period, min_rto=min_rto,
+        bottleneck_bps=bottleneck_bps,
+    )
+    per_period = sum(p.packets_per_period for p in predictions)
+    return per_period * (n_pulses - 1) * victims.s_packet
+
+
+def extended_degradation(victims: VictimPopulation, *, period: float,
+                         bottleneck_bps: float, min_rto: float) -> float:
+    """Timeout-aware Γ: like Prop. 2, but per-flow regimes considered.
+
+    The per-flow fair-share caps guarantee Ψ ≤ Ψ_normal, so the result
+    is always in [0, 1).
+    """
+    check_positive("bottleneck_bps", bottleneck_bps)
+    n_pulses = 10  # (N-1) cancels in the ratio; any N >= 2 works
+    attack = extended_attack_throughput(
+        victims, period=period, n_pulses=n_pulses, min_rto=min_rto,
+        bottleneck_bps=bottleneck_bps,
+    )
+    normal = normal_throughput(bottleneck_bps, period, n_pulses)
+    return 1.0 - min(attack, normal) / normal
+
+
+def extended_gain(victims: VictimPopulation, *, gamma: float, period: float,
+                  bottleneck_bps: float, min_rto: float,
+                  kappa: float = 1.0) -> float:
+    """Timeout-aware attack gain ``Γ_ext · (1 − γ)^κ``."""
+    check_positive("kappa", kappa)
+    if not 0 < gamma < 1:
+        raise ValueError(f"gamma must be in (0, 1), got {gamma}")
+    degradation = extended_degradation(
+        victims, period=period, bottleneck_bps=bottleneck_bps,
+        min_rto=min_rto,
+    )
+    return degradation * (1.0 - gamma) ** kappa

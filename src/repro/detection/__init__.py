@@ -1,0 +1,30 @@
+"""Attack-detection substrates the paper argues PDoS evades.
+
+Three detector families appear in the paper's threat analysis:
+
+* volume detectors tuned for flooding attacks (reference [19] and the
+  SYN-flood detectors of [9]) -- :mod:`repro.detection.flood`;
+* the dynamic-time-warping pulse isolator of Sun, Lui & Yau (reference
+  [8]) -- :mod:`repro.detection.dtw`; the paper notes it fails when the
+  pulse is shorter than the sampling period;
+* feature-based packet filters (references [3, 11, 17]) --
+  :mod:`repro.detection.feature`.
+
+They let the experiment harness quantify the paper's evasion claims:
+an optimized PDoS attack slips under the flood threshold that instantly
+flags the equivalent flooding attack.
+"""
+
+from repro.detection.dtw import DTWPulseDetector, dtw_distance, square_wave_template
+from repro.detection.feature import ConformanceDetector, FlowProfile
+from repro.detection.flood import FloodDetector, FloodVerdict
+
+__all__ = [
+    "ConformanceDetector",
+    "DTWPulseDetector",
+    "FloodDetector",
+    "FloodVerdict",
+    "FlowProfile",
+    "dtw_distance",
+    "square_wave_template",
+]

@@ -1,0 +1,120 @@
+"""Per-figure experiment drivers.
+
+One module per paper figure plus the two extension experiments:
+
+========================  =====================================================
+module                    reproduces
+========================  =====================================================
+fig01_cwnd                Fig. 1 -- cwnd trajectory under a fixed-period attack
+fig02_pattern             Fig. 2 -- periodic incoming-traffic pattern (model)
+fig03_sync                Fig. 3 -- quasi-global synchronization (both platforms)
+fig04_risk                Fig. 4 -- risk-preference curves
+fig06_09_gain             Figs. 6-9 -- gain vs γ sweeps (dumbbell)
+fig10_shrew               Fig. 10 -- PDoS vs shrew-attack points
+fig12_testbed             Fig. 12 -- test-bed gain curves
+ablation_red_droptail     conclusion's RED-vs-drop-tail claim
+ablation_model            Prop.-2 vs timeout-aware model accuracy (Section-5 future work)
+ablation_victim           victim TCP variant (Tahoe/Reno/NewReno/SACK) resilience
+flow_damage               per-flow damage distribution + Jain fairness
+distributed_attack        single vs multi-source (DDoS) deployments of one attack
+mice_elephants            short-flow (mice) FCT damage vs elephant goodput
+detection_evasion         Section-1 evasion claims, quantified
+defenses                  randomized-RTO [7] and CHOKe RED-hardening evaluations
+replication               multi-seed sweeps with confidence intervals
+========================  =====================================================
+
+All drivers honour ``REPRO_FULL=1`` for paper-scale runs; the defaults
+are scaled down to keep the benchmark suite fast.
+"""
+
+from repro.experiments.ablation_model import ModelAblation, run_model_ablation
+from repro.experiments.ablation_red_droptail import QueueAblation, run_queue_ablation
+from repro.experiments.ablation_victim import VictimAblation, run_victim_ablation
+from repro.experiments.flow_damage import FlowDamageReport, run_flow_damage
+from repro.experiments.mice_elephants import (
+    MiceElephantsResult,
+    run_mice_elephants,
+)
+from repro.experiments.base import (
+    DumbbellPlatform,
+    GainCurve,
+    GainPoint,
+    TestbedPlatform,
+    default_gammas,
+    full_scale,
+    render_curve_table,
+    run_gain_sweep,
+)
+from repro.experiments.defenses import (
+    AQMHardeningResult,
+    RTODefenseResult,
+    run_aqm_hardening,
+    run_rto_randomization,
+)
+from repro.experiments.detection_evasion import EvasionReport, run_detection_evasion
+from repro.experiments.distributed_attack import (
+    DistributedResult,
+    run_distributed_attack,
+)
+from repro.experiments.fig01_cwnd import CwndExperiment, run_fig01
+from repro.experiments.replication import (
+    ReplicatedCurve,
+    ReplicatedPoint,
+    replicate_gain_sweep,
+)
+from repro.experiments.fig02_pattern import PatternResult, run_fig02
+from repro.experiments.fig03_sync import SyncResult, run_fig03_ns2, run_fig03_testbed
+from repro.experiments.fig04_risk import RiskCurves, run_fig04
+from repro.experiments.fig06_09_gain import FIGURE_RATES, GainFigure, run_gain_figure
+from repro.experiments.fig10_shrew import SHREW_CASES, ShrewFigure, run_fig10
+from repro.experiments.fig12_testbed import TESTBED_RATES, TestbedFigure, run_fig12
+
+__all__ = [
+    "AQMHardeningResult",
+    "CwndExperiment",
+    "DistributedResult",
+    "DumbbellPlatform",
+    "EvasionReport",
+    "FIGURE_RATES",
+    "FlowDamageReport",
+    "GainCurve",
+    "GainFigure",
+    "GainPoint",
+    "MiceElephantsResult",
+    "ModelAblation",
+    "PatternResult",
+    "QueueAblation",
+    "RTODefenseResult",
+    "ReplicatedCurve",
+    "ReplicatedPoint",
+    "RiskCurves",
+    "SHREW_CASES",
+    "ShrewFigure",
+    "SyncResult",
+    "TESTBED_RATES",
+    "TestbedFigure",
+    "TestbedPlatform",
+    "VictimAblation",
+    "default_gammas",
+    "full_scale",
+    "render_curve_table",
+    "replicate_gain_sweep",
+    "run_aqm_hardening",
+    "run_detection_evasion",
+    "run_distributed_attack",
+    "run_fig01",
+    "run_fig02",
+    "run_fig03_ns2",
+    "run_fig03_testbed",
+    "run_fig04",
+    "run_fig10",
+    "run_fig12",
+    "run_flow_damage",
+    "run_gain_figure",
+    "run_gain_sweep",
+    "run_mice_elephants",
+    "run_model_ablation",
+    "run_queue_ablation",
+    "run_rto_randomization",
+    "run_victim_ablation",
+]

@@ -1,0 +1,115 @@
+"""Ablation: base (FR-only) model vs the timeout-aware extension.
+
+The paper's Section-5 future work, evaluated: for a γ sweep on the
+dumbbell, compare the prediction error of Proposition 2's FR-only gain
+against the timeout-aware :mod:`repro.core.timeout_model`, relative to
+the simulated gain.  The extension should cut the error precisely where
+the base model under-estimates (over-gain and shrew regions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.timeout_model import extended_gain
+from repro.experiments.base import (
+    DumbbellPlatform,
+    GainCurve,
+    default_gammas,
+    run_gain_sweep,
+)
+from repro.util.units import mbps, ms
+
+__all__ = ["ModelAblation", "run_model_ablation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelAblation:
+    """Prediction-error comparison of the two analytical models.
+
+    Attributes:
+        curve: the measured sweep (with base-model analytic gains).
+        extended_gains: the timeout-aware predictions, per swept γ.
+        base_errors / extended_errors: |prediction − measured| per γ.
+    """
+
+    curve: GainCurve
+    extended_gains: List[float]
+    base_errors: List[float]
+    extended_errors: List[float]
+
+    def mean_base_error(self) -> float:
+        return float(np.mean(self.base_errors))
+
+    def mean_extended_error(self) -> float:
+        return float(np.mean(self.extended_errors))
+
+    def render(self) -> str:
+        lines = [
+            "Ablation -- FR-only model (Prop. 2) vs timeout-aware extension",
+            f"{self.curve.label}  (C_psi={self.curve.c_psi:.3f})",
+            f"{'gamma':>7} {'measured':>9} {'base':>8} {'extended':>9} "
+            f"{'|err_b|':>8} {'|err_e|':>8} {'shrew':>6}",
+        ]
+        for point, ext, err_b, err_e in zip(
+            self.curve.points, self.extended_gains,
+            self.base_errors, self.extended_errors,
+        ):
+            lines.append(
+                f"{point.gamma:7.2f} {point.measured_gain:9.3f} "
+                f"{point.analytic_gain:8.3f} {ext:9.3f} {err_b:8.3f} "
+                f"{err_e:8.3f} {'*' if point.is_shrew else '':>6}"
+            )
+        lines.append(
+            f"mean |error|: base {self.mean_base_error():.3f}, "
+            f"timeout-aware {self.mean_extended_error():.3f}"
+        )
+        return "\n".join(lines)
+
+
+def run_model_ablation(
+    *,
+    rate_bps: float = mbps(30),
+    extent: float = ms(100),
+    n_flows: int = 15,
+    kappa: float = 1.0,
+    gammas=None,
+) -> ModelAblation:
+    """Sweep once, then score both models against the measurement."""
+    if gammas is None:
+        gammas = default_gammas()
+    platform = DumbbellPlatform(n_flows=n_flows, seed=801)
+    curve = run_gain_sweep(
+        platform, rate_bps=rate_bps, extent=extent, gammas=gammas,
+        kappa=kappa, label=f"R={rate_bps / 1e6:.0f}M "
+        f"T_extent={extent * 1e3:.0f}ms, {n_flows} flows",
+    )
+    victims = platform.victim_population()
+    extended = [
+        extended_gain(
+            victims,
+            gamma=point.gamma,
+            period=point.period,
+            bottleneck_bps=platform.bottleneck_bps,
+            min_rto=platform.min_rto,
+            kappa=kappa,
+        )
+        for point in curve.points
+    ]
+    base_errors = [
+        abs(max(point.analytic_gain, 0.0) - point.measured_gain)
+        for point in curve.points
+    ]
+    extended_errors = [
+        abs(ext - point.measured_gain)
+        for ext, point in zip(extended, curve.points)
+    ]
+    return ModelAblation(
+        curve=curve,
+        extended_gains=extended,
+        base_errors=base_errors,
+        extended_errors=extended_errors,
+    )

@@ -1,0 +1,385 @@
+"""Shared experiment machinery: platforms, gain sweeps, and renderers.
+
+Every gain figure in the paper (Figs. 6-9, 10, 12) is the same
+measurement repeated on different scenarios: sweep the normalized attack
+rate γ (by varying T_space at fixed R_attack and T_extent), measure the
+TCP throughput with and without the attack, and compare the measured
+attack gain ``G = Γ_measured · (1 − γ)^κ`` against the analytical curve
+``(1 − C_ψ/γ)(1 − γ)^κ``.
+
+:class:`DumbbellPlatform` and :class:`TestbedPlatform` adapt the two
+validation environments to one interface; :func:`run_gain_sweep` does
+the paired baseline/attack measurement per γ.
+
+Experiment scale: by default sweeps run at a reduced horizon so the
+whole benchmark suite completes in minutes; set the environment variable
+``REPRO_FULL=1`` for paper-scale runs (longer windows, more γ samples,
+all flow-count panels).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.attack import PulseTrain
+from repro.core.classify import GainComparison, classify_gain
+from repro.core.gain import attack_gain
+from repro.core.shrew import flag_shrew_points, ShrewPoint
+from repro.core.throughput import VictimPopulation, c_psi
+from repro.sim.tcp import TCPConfig, TCPVariant
+from repro.sim.topology import (
+    DumbbellConfig,
+    build_dumbbell,
+    make_choke_queue,
+    make_droptail_queue,
+    make_red_queue,
+)
+from repro.testbed.dummynet import TestbedConfig, build_testbed
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = [
+    "full_scale",
+    "DumbbellPlatform",
+    "TestbedPlatform",
+    "GainPoint",
+    "GainCurve",
+    "run_gain_sweep",
+    "render_curve_table",
+    "default_gammas",
+]
+
+
+def full_scale() -> bool:
+    """True when ``REPRO_FULL=1``: run paper-scale sweeps."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+def default_gammas(n: Optional[int] = None) -> np.ndarray:
+    """The swept γ grid: 9 points at full scale, 5 when scaled down."""
+    if n is None:
+        n = 9 if full_scale() else 5
+    return np.linspace(0.1, 0.9, n)
+
+
+def _dumbbell_tcp_config() -> TCPConfig:
+    """The ns-2-style stack used in the dumbbell experiments.
+
+    NewReno (as the paper states), delayed ACKs d = 2 (the value the
+    paper's analysis plugs in), and ns-2's 1 s minimum RTO -- the value
+    that places the Fig.-10 shrew points at 1000/n ms.
+    """
+    return TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=2, min_rto=1.0)
+
+
+class DumbbellPlatform:
+    """The ns-2-style dumbbell environment (Figs. 6-10)."""
+
+    _QUEUE_FACTORIES = {
+        "red": make_red_queue,
+        "droptail": make_droptail_queue,
+        "choke": make_choke_queue,
+    }
+
+    def __init__(self, *, n_flows: int = 15, queue: str = "red",
+                 seed: int = 1, tcp: Optional[TCPConfig] = None) -> None:
+        if queue not in self._QUEUE_FACTORIES:
+            raise ValidationError(
+                f"queue must be one of {sorted(self._QUEUE_FACTORIES)}, "
+                f"got {queue!r}"
+            )
+        self.n_flows = n_flows
+        self.queue = queue
+        self.seed = seed
+        self.tcp = tcp if tcp is not None else _dumbbell_tcp_config()
+        self._config = DumbbellConfig(
+            n_flows=n_flows,
+            queue_factory=self._QUEUE_FACTORIES[queue],
+            tcp=self.tcp,
+            seed=seed,
+        )
+        self._baseline_cache = {}
+
+    @property
+    def bottleneck_bps(self) -> float:
+        return self._config.bottleneck_rate_bps
+
+    @property
+    def min_rto(self) -> float:
+        return self.tcp.min_rto
+
+    def victim_population(self) -> VictimPopulation:
+        return VictimPopulation(
+            rtts=self._config.flow_rtts(),
+            delayed_ack=self.tcp.delayed_ack,
+            s_packet=1500.0,
+        )
+
+    def measure_goodput(self, train: Optional[PulseTrain], *, warmup: float,
+                        window: float) -> float:
+        """Payload bytes delivered in [warmup, warmup+window], attack optional.
+
+        The (deterministic) no-attack baseline is cached per
+        (warmup, window) so multi-curve sweeps pay for it once.
+        """
+        key = (warmup, window)
+        if train is None and key in self._baseline_cache:
+            return self._baseline_cache[key]
+        net = build_dumbbell(dataclasses.replace(self._config))
+        net.start_flows()
+        net.run(until=warmup)
+        before = net.aggregate_goodput_bytes()
+        if train is not None:
+            source = net.add_attack(train, start_time=warmup)
+            source.start()
+        net.run(until=warmup + window)
+        result = net.aggregate_goodput_bytes() - before
+        if train is None:
+            self._baseline_cache[key] = result
+        return result
+
+
+class TestbedPlatform:
+    """The Dummynet test-bed environment (Fig. 12)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, *, n_flows: int = 10, use_red: bool = True,
+                 seed: int = 7) -> None:
+        self.n_flows = n_flows
+        self.use_red = use_red
+        self.seed = seed
+        self._config = TestbedConfig(n_flows=n_flows, use_red=use_red, seed=seed)
+        self._baseline_cache = {}
+
+    @property
+    def bottleneck_bps(self) -> float:
+        return self._config.pipe.bandwidth_bps
+
+    @property
+    def min_rto(self) -> float:
+        return self._config.tcp.min_rto
+
+    def victim_population(self) -> VictimPopulation:
+        return VictimPopulation(
+            rtts=self._config.rtt() * np.ones(self.n_flows),
+            delayed_ack=self._config.tcp.delayed_ack,
+            s_packet=1500.0,
+        )
+
+    def measure_goodput(self, train: Optional[PulseTrain], *, warmup: float,
+                        window: float) -> float:
+        """Payload bytes delivered in [warmup, warmup+window], attack optional.
+
+        The (deterministic) no-attack baseline is cached per
+        (warmup, window) so multi-curve sweeps pay for it once.
+        """
+        key = (warmup, window)
+        if train is None and key in self._baseline_cache:
+            return self._baseline_cache[key]
+        net = build_testbed(dataclasses.replace(self._config))
+        net.start_flows()
+        net.run(until=warmup)
+        before = net.aggregate_goodput_bytes()
+        if train is not None:
+            source = net.add_attack(train, start_time=warmup)
+            source.start()
+        net.run(until=warmup + window)
+        result = net.aggregate_goodput_bytes() - before
+        if train is None:
+            self._baseline_cache[key] = result
+        return result
+
+
+# ----------------------------------------------------------------------
+# gain sweeps
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class GainPoint:
+    """One swept γ sample.
+
+    Attributes:
+        gamma: the normalized average attack rate.
+        period: the realized attack period T_AIMD, seconds.
+        analytic_gain: the model's G_attack at this γ.
+        measured_gain: Γ_measured · (1 − γ)^κ from the paired runs.
+        measured_degradation: Γ_measured = 1 − Ψ_attack/Ψ_normal.
+        is_shrew: whether T_AIMD sits on a minRTO harmonic (§4.1.3).
+    """
+
+    gamma: float
+    period: float
+    analytic_gain: float
+    measured_gain: float
+    measured_degradation: float
+    is_shrew: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class GainCurve:
+    """A full swept curve plus its §4.1.1 classification."""
+
+    label: str
+    rate_bps: float
+    extent: float
+    kappa: float
+    c_psi: float
+    points: List[GainPoint]
+    comparison: GainComparison
+
+    def gammas(self) -> np.ndarray:
+        return np.array([p.gamma for p in self.points])
+
+    def analytic(self) -> np.ndarray:
+        return np.array([p.analytic_gain for p in self.points])
+
+    def measured(self) -> np.ndarray:
+        return np.array([p.measured_gain for p in self.points])
+
+    def peak_measured(self) -> GainPoint:
+        """The sample with the largest measured gain."""
+        return max(self.points, key=lambda p: p.measured_gain)
+
+    def peak_analytic(self) -> GainPoint:
+        """The sample with the largest analytical gain."""
+        return max(self.points, key=lambda p: p.analytic_gain)
+
+    def plot(self, *, height: int = 12, width: int = 56) -> str:
+        """An ASCII scatter of measured vs analytic gain over γ.
+
+        Analytic values are clamped at 0 for display (the model's domain
+        is γ > C_ψ), matching how the paper's figures draw the lines.
+        """
+        from repro.analysis.plot import scatter_grid
+
+        return scatter_grid(
+            self.gammas(),
+            [self.measured(), np.clip(self.analytic(), 0.0, None)],
+            labels=["measured", "analytic"],
+            height=height,
+            width=width,
+            y_min=0.0,
+        )
+
+
+def run_gain_sweep(
+    platform,
+    *,
+    rate_bps: float,
+    extent: float,
+    gammas: Optional[Sequence[float]] = None,
+    kappa: float = 1.0,
+    warmup: Optional[float] = None,
+    window: Optional[float] = None,
+    label: str = "",
+    exclude_shrew_from_classification: bool = True,
+) -> GainCurve:
+    """Sweep γ on *platform* and compare measured vs analytical gain.
+
+    For each γ the attack period follows from Eq. (4); the measured gain
+    uses a paired (same-seed) no-attack baseline.  Shrew points
+    (T_AIMD ≈ minRTO/n) are flagged, and -- following the paper's own
+    practice in §4.1.2 -- excluded from the normal/under/over-gain
+    classification unless *exclude_shrew_from_classification* is False.
+    Samples with γ ≤ C_ψ are likewise excluded from classification: the
+    model's Γ ∈ (0, 1) domain (Eq. 12) requires C_ψ < γ, so the analytic
+    prediction is undefined (negative) there.
+    """
+    check_positive("rate_bps", rate_bps)
+    check_positive("extent", extent)
+    if gammas is None:
+        gammas = default_gammas()
+    if warmup is None:
+        warmup = 10.0 if full_scale() else 6.0
+    if window is None:
+        window = 50.0 if full_scale() else 20.0
+
+    victims = platform.victim_population()
+    bottleneck = platform.bottleneck_bps
+    c_psi_value = c_psi(
+        victims, extent=extent, rate_bps=rate_bps, bottleneck_bps=bottleneck
+    )
+
+    baseline = platform.measure_goodput(None, warmup=warmup, window=window)
+    if baseline <= 0:
+        raise ValidationError(
+            "baseline goodput is zero; the measurement window is too short"
+        )
+
+    points: List[GainPoint] = []
+    periods: List[float] = []
+    for gamma in gammas:
+        train = PulseTrain.from_gamma(
+            gamma=float(gamma), rate_bps=rate_bps, extent=extent,
+            bottleneck_bps=bottleneck,
+            n_pulses=int(math.ceil(window / (rate_bps * extent / (gamma * bottleneck)))) + 2,
+        )
+        attacked = platform.measure_goodput(train, warmup=warmup, window=window)
+        degradation_measured = 1.0 - attacked / baseline
+        measured = degradation_measured * (1.0 - float(gamma)) ** kappa
+        analytic = attack_gain(float(gamma), c_psi_value, kappa)
+        periods.append(train.period)
+        points.append(GainPoint(
+            gamma=float(gamma),
+            period=train.period,
+            analytic_gain=analytic,
+            measured_gain=measured,
+            measured_degradation=degradation_measured,
+            is_shrew=False,  # filled below once all periods are known
+        ))
+
+    shrew: List[ShrewPoint] = flag_shrew_points(periods, platform.min_rto)
+    shrew_indices = {sp.index for sp in shrew}
+    points = [
+        dataclasses.replace(point, is_shrew=(index in shrew_indices))
+        for index, point in enumerate(points)
+    ]
+
+    valid = [p for p in points if p.gamma > c_psi_value]
+    if exclude_shrew_from_classification:
+        kept = [p for p in valid if not p.is_shrew] or valid or points
+    else:
+        kept = valid or points
+    comparison = classify_gain(
+        [p.measured_gain for p in kept],
+        [p.analytic_gain for p in kept],
+    )
+    return GainCurve(
+        label=label or f"R={rate_bps / 1e6:.0f}M T_extent={extent * 1e3:.0f}ms",
+        rate_bps=rate_bps,
+        extent=extent,
+        kappa=kappa,
+        c_psi=c_psi_value,
+        points=points,
+        comparison=comparison,
+    )
+
+
+def render_curve_table(curves: Sequence[GainCurve], title: str = "") -> str:
+    """Render swept curves as the rows the paper's figures plot."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for curve in curves:
+        lines.append(
+            f"\n{curve.label}  (C_psi={curve.c_psi:.3f}, kappa={curve.kappa:g}, "
+            f"classified: {curve.comparison.regime.value}, "
+            f"mean discrepancy {curve.comparison.mean_discrepancy:+.3f})"
+        )
+        lines.append(
+            f"{'gamma':>7} {'T_AIMD(ms)':>11} {'G_analytic':>11} "
+            f"{'G_measured':>11} {'Gamma_meas':>11} {'shrew':>6}"
+        )
+        for p in curve.points:
+            lines.append(
+                f"{p.gamma:7.2f} {p.period * 1e3:11.0f} {p.analytic_gain:11.3f} "
+                f"{p.measured_gain:11.3f} {p.measured_degradation:11.3f} "
+                f"{'*' if p.is_shrew else '':>6}"
+            )
+    return "\n".join(lines)

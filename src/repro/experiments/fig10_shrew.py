@@ -1,0 +1,120 @@
+"""Figure 10: the PDoS / shrew-attack relationship.
+
+Three attack settings are swept over γ:
+
+* a normal-gain case  -- R_attack = 30 Mb/s, T_extent = 100 ms;
+* an over-gain case   -- R_attack = 40 Mb/s, T_extent =  75 ms;
+* an under-gain case  -- R_attack = 50 Mb/s, T_extent =  50 ms.
+
+At γ values whose attack period T_AIMD lands on a minRTO harmonic
+(1000/n ms for ns-2's 1 s minRTO) the attack degenerates into the
+timeout-based shrew attack and the measured gain jumps far above the
+analytical line -- the circled outliers of Fig. 10.  The driver flags
+those points and quantifies the excess.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.base import (
+    DumbbellPlatform,
+    GainCurve,
+    default_gammas,
+    full_scale,
+    render_curve_table,
+    run_gain_sweep,
+)
+from repro.util.units import mbps, ms
+
+__all__ = ["ShrewFigure", "SHREW_CASES", "run_fig10"]
+
+#: The paper's three Fig.-10 settings: (label, R_attack, T_extent).
+SHREW_CASES: Sequence[Tuple[str, float, float]] = (
+    ("normal-gain R=30M T_extent=100ms", mbps(30), ms(100)),
+    ("over-gain   R=40M T_extent=75ms", mbps(40), ms(75)),
+    ("under-gain  R=50M T_extent=50ms", mbps(50), ms(50)),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrewFigure:
+    """The three swept curves with their shrew-point excess statistics."""
+
+    curves: List[GainCurve]
+    #: mean (measured − analytic) over shrew points, per curve.
+    shrew_excess: List[float]
+    #: mean (measured − analytic) over non-shrew points, per curve.
+    nonshrew_excess: List[float]
+
+    def render(self) -> str:
+        parts = [render_curve_table(
+            self.curves, title="Fig. 10 -- PDoS attacks vs shrew attacks"
+        )]
+        for curve, shrew, nonshrew in zip(
+            self.curves, self.shrew_excess, self.nonshrew_excess
+        ):
+            parts.append(
+                f"  [{curve.label}] shrew-point excess {shrew:+.3f} vs "
+                f"non-shrew {nonshrew:+.3f} (measured - analytic)"
+            )
+        return "\n".join(parts)
+
+
+def _excess(curve: GainCurve, shrew: bool) -> float:
+    """Mean (measured − analytic) over model-valid points (γ > C_ψ)."""
+    values = [
+        p.measured_gain - p.analytic_gain
+        for p in curve.points
+        if p.is_shrew == shrew and p.gamma > curve.c_psi
+    ]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def _shrew_gammas(rate_bps: float, extent: float, *, bottleneck_bps: float,
+                  min_rto: float) -> List[float]:
+    """The exact γ values that place T_AIMD on a minRTO harmonic.
+
+    From Eq. (4): T_AIMD = minRTO/n  ⇔  γ = n · R_attack·T_extent /
+    (R_bottle·minRTO); only harmonics with γ < 1 are realizable.
+    """
+    base = rate_bps * extent / (bottleneck_bps * min_rto)
+    return [n * base for n in range(1, 6) if n * base < 0.95]
+
+
+def run_fig10(*, gammas=None, n_flows: int = 15) -> ShrewFigure:
+    """Reproduce Fig. 10 on the dumbbell platform.
+
+    Each case's γ grid is the default sweep *plus* the exact shrew
+    harmonics (for R=30M/100ms those fall at γ = 0.2·n, i.e.
+    T_AIMD = 1000, 500, 1000/3 ms -- the periods the paper circles).
+    """
+    base_gammas = (
+        list(gammas) if gammas is not None
+        else list(default_gammas(9 if full_scale() else 5))
+    )
+    curves: List[GainCurve] = []
+    for label, rate, extent in SHREW_CASES:
+        platform = DumbbellPlatform(n_flows=n_flows, seed=1000)
+        case_gammas = sorted(set(
+            round(g, 4) for g in base_gammas + _shrew_gammas(
+                rate, extent,
+                bottleneck_bps=platform.bottleneck_bps,
+                min_rto=platform.min_rto,
+            )
+        ))
+        curves.append(run_gain_sweep(
+            platform,
+            rate_bps=rate,
+            extent=extent,
+            gammas=case_gammas,
+            label=label,
+        ))
+    return ShrewFigure(
+        curves=curves,
+        shrew_excess=[_excess(c, True) for c in curves],
+        nonshrew_excess=[_excess(c, False) for c in curves],
+    )

@@ -1,0 +1,75 @@
+"""Packet-level discrete-event network simulator (the ns-2 substrate).
+
+The paper validates its analysis with ns-2 2.28; this package provides
+the equivalent substrate built from scratch:
+
+* :mod:`repro.sim.engine` -- the event scheduler;
+* :mod:`repro.sim.packet` -- segment-granular packets;
+* :mod:`repro.sim.link` / :mod:`repro.sim.queues` -- links with
+  serialization + propagation and DropTail / RED buffering;
+* :mod:`repro.sim.node` -- static forwarding;
+* :mod:`repro.sim.tcp` -- general-AIMD TCP (Tahoe/Reno/NewReno/SACK);
+* :mod:`repro.sim.attacker` -- pulse-train and CBR sources;
+* :mod:`repro.sim.workload` -- finite-transfer ("mice") workloads;
+* :mod:`repro.sim.topology` -- the Fig. 5 dumbbell builder;
+* :mod:`repro.sim.trace` -- rate / drop / queue instrumentation;
+* :mod:`repro.sim.tracefile` -- ns-2-format trace file writer/parser.
+"""
+
+from repro.sim.attacker import CBRSource, PulseAttackSource
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.queues import (
+    CHOKeQueue,
+    DropTailQueue,
+    QueueDiscipline,
+    QueueState,
+    REDQueue,
+)
+from repro.sim.tcp import AIMDParams, TCPConfig, TCPReceiver, TCPSender, TCPVariant
+from repro.sim.topology import (
+    DumbbellConfig,
+    DumbbellNetwork,
+    build_dumbbell,
+    make_droptail_queue,
+    make_red_queue,
+)
+from repro.sim.trace import DropMonitor, QueueSampler, RateMonitor
+from repro.sim.tracefile import TraceRecord, TraceWriter, read_trace
+from repro.sim.workload import FlowRecord, ShortFlowWorkload
+
+__all__ = [
+    "AIMDParams",
+    "CBRSource",
+    "CHOKeQueue",
+    "DropMonitor",
+    "DropTailQueue",
+    "DumbbellConfig",
+    "DumbbellNetwork",
+    "Event",
+    "FlowRecord",
+    "Link",
+    "Node",
+    "Packet",
+    "PacketKind",
+    "PulseAttackSource",
+    "QueueDiscipline",
+    "QueueSampler",
+    "QueueState",
+    "REDQueue",
+    "RateMonitor",
+    "ShortFlowWorkload",
+    "Simulator",
+    "TCPConfig",
+    "TCPReceiver",
+    "TCPSender",
+    "TCPVariant",
+    "TraceRecord",
+    "TraceWriter",
+    "build_dumbbell",
+    "make_droptail_queue",
+    "make_red_queue",
+    "read_trace",
+]

@@ -1,0 +1,245 @@
+"""Unidirectional links with a FIFO buffer, serialization, and delay.
+
+Timing model (identical to ns-2's ``DelayLink`` + ``Queue`` pair, but with
+one scheduler event per packet):
+
+* A packet arriving at a busy link waits in FIFO order; its departure
+  time is ``max(now, busy_until) + size / rate`` and is fully determined
+  at arrival, so the link keeps a *departure list* instead of scheduling
+  a dequeue event per packet.
+* The instantaneous queue occupancy seen by the discipline (RED's sampled
+  queue length, drop-tail's fill check) is computed lazily by expiring
+  entries from the departure list.
+* After serialization the packet propagates for ``delay`` seconds and is
+  then delivered to the destination node.
+
+Each link is unidirectional; duplex connectivity uses two links.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, QueueDiscipline, QueueState
+from repro.util.validate import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+__all__ = ["Link", "LinkMonitor", "BufferedPacket"]
+
+#: Signature of a link monitor callback: (packet, time, accepted).
+LinkMonitor = Callable[[Packet, float, bool], None]
+
+
+class BufferedPacket:
+    """A buffered packet's bookkeeping on buffer-tracking links.
+
+    Indexable like the plain ``(departure, size)`` tuples of the fast
+    path so the expiry loop handles both representations.
+    """
+
+    __slots__ = ("departure", "size_bytes", "packet", "event")
+
+    def __init__(self, departure: float, size_bytes: float, packet: Packet,
+                 event) -> None:
+        self.departure = departure
+        self.size_bytes = size_bytes
+        self.packet = packet
+        self.event = event
+
+    @property
+    def flow_id(self) -> int:
+        return self.packet.flow_id
+
+    def __getitem__(self, index: int) -> float:
+        if index == 0:
+            return self.departure
+        if index == 1:
+            return self.size_bytes
+        raise IndexError(index)
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``.
+
+    Args:
+        sim: the event engine.
+        src / dst: endpoint nodes; the link auto-registers itself as
+            ``src``'s outgoing interface toward ``dst``.
+        rate_bps: serialization rate in bits per second.
+        delay: one-way propagation delay in seconds.
+        queue: buffer discipline; defaults to a 64 KiB drop-tail queue.
+        name: label used in traces and repr.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: float,
+        queue: Optional[QueueDiscipline] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = check_positive("rate_bps", rate_bps)
+        self.delay = check_non_negative("delay", delay)
+        self.queue = queue if queue is not None else DropTailQueue(65536.0)
+        self.name = name or f"{src.node_id}->{dst.node_id}"
+
+        # Lazy departure list: (departure_time, size_bytes) per buffered pkt
+        # -- or BufferedPacket entries when the discipline inspects the
+        # buffer (CHOKe-style match-and-drop).
+        self._departures: Deque = deque()
+        self._queued_bytes = 0.0
+        self._busy_until = 0.0
+        self._track_buffer = getattr(self.queue, "needs_buffer_access", False)
+
+        # Statistics.
+        self.bytes_sent = 0.0
+        self.packets_sent = 0
+        self.bytes_dropped = 0.0
+        self.packets_dropped = 0
+        self.peak_queue_bytes = 0.0
+
+        #: Monitors invoked on every arrival at the link's ingress with
+        #: ``(packet, time, accepted)``.  Used by rate/drop tracers.
+        self.monitors: List[LinkMonitor] = []
+
+        src.attach_link(dst.node_id, self)
+
+    # ------------------------------------------------------------------
+    def _expire_departed(self, now: float) -> None:
+        departures = self._departures
+        while departures and departures[0][0] <= now:
+            self._queued_bytes -= departures.popleft()[1]
+        if not departures:
+            self._queued_bytes = 0.0  # guard against float drift
+
+    # ------------------------------------------------------------------
+    # buffer access for match-and-drop disciplines (CHOKe)
+    # ------------------------------------------------------------------
+    def sample_buffered(self, rng) -> Optional["BufferedPacket"]:
+        """A uniformly random *waiting* packet (in-service head excluded).
+
+        Only available on links whose discipline sets
+        ``needs_buffer_access``; returns None when nothing is waiting.
+        """
+        if not self._track_buffer or len(self._departures) < 2:
+            return None
+        index = rng.randrange(1, len(self._departures))
+        return self._departures[index]
+
+    def evict(self, entry: "BufferedPacket") -> None:
+        """Drop a buffered packet chosen by the discipline.
+
+        The link stays work-conserving: the evicted packet's transmission
+        slot is reclaimed, so every packet queued behind it departs one
+        serialization time earlier (their delivery events are
+        rescheduled).  This is safe because packets queued behind a
+        waiting packet were necessarily enqueued back-to-back -- no idle
+        gap can exist behind a backlog.
+        """
+        try:
+            self._departures.remove(entry)
+        except ValueError:
+            return  # already departed; nothing to evict
+        entry.event.cancel()
+        self._queued_bytes -= entry.size_bytes
+        reclaimed = self.transmission_time(entry.size_bytes)
+        for other in self._departures:
+            if other[0] > entry.departure:
+                other.departure -= reclaimed
+                other.event.cancel()
+                other.event = self.sim.schedule_at(
+                    other.departure + self.delay, self.dst.receive,
+                    other.packet,
+                )
+        self._busy_until -= reclaimed
+        # The evicted packet never reached the wire after all.
+        self.bytes_sent -= entry.size_bytes
+        self.packets_sent -= 1
+        self.bytes_dropped += entry.size_bytes
+        self.packets_dropped += 1
+
+    def queue_state(self) -> QueueState:
+        """Instantaneous buffer occupancy (expires departed packets first)."""
+        now = self.sim.now
+        self._expire_departed(now)
+        idle_since: Optional[float] = None
+        if not self._departures:
+            # Idle since the last transmission finished (0.0 if never used).
+            idle_since = min(self._busy_until, now)
+        return QueueState(self._queued_bytes, len(self._departures), now, idle_since)
+
+    @property
+    def queue_bytes(self) -> float:
+        """Current buffered bytes (including the packet in transmission)."""
+        self._expire_departed(self.sim.now)
+        return self._queued_bytes
+
+    @property
+    def queue_packets(self) -> int:
+        """Current buffered packet count (including the one in transmission)."""
+        self._expire_departed(self.sim.now)
+        return len(self._departures)
+
+    def transmission_time(self, size_bytes: float) -> float:
+        """Serialization time of *size_bytes* on this link, seconds."""
+        return size_bytes * 8.0 / self.rate_bps
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer *packet* to the link; returns False if the buffer dropped it."""
+        now = self.sim.now
+        state = self.queue_state()
+        if self._track_buffer:
+            accepted = self.queue.admit_with_link(packet, state, self)
+        else:
+            accepted = self.queue.admit(packet.size_bytes, state)
+
+        for monitor in self.monitors:
+            monitor(packet, now, accepted)
+
+        if not accepted:
+            self.bytes_dropped += packet.size_bytes
+            self.packets_dropped += 1
+            return False
+
+        start = max(now, self._busy_until)
+        departure = start + self.transmission_time(packet.size_bytes)
+        self._busy_until = departure
+        event = self.sim.schedule_at(departure + self.delay,
+                                     self.dst.receive, packet)
+        if self._track_buffer:
+            self._departures.append(BufferedPacket(
+                departure, packet.size_bytes, packet, event,
+            ))
+        else:
+            self._departures.append((departure, packet.size_bytes))
+        self._queued_bytes += packet.size_bytes
+        if self._queued_bytes > self.peak_queue_bytes:
+            self.peak_queue_bytes = self._queued_bytes
+
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        packet.hops += 1
+        return True
+
+    @property
+    def utilization_bytes(self) -> float:
+        """Total bytes accepted onto the wire so far."""
+        return self.bytes_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name} {self.rate_bps / 1e6:.1f}Mbps "
+            f"{self.delay * 1e3:.1f}ms q={len(self._departures)}pkts>"
+        )

@@ -1,0 +1,110 @@
+"""Nodes and static forwarding.
+
+A :class:`Node` is a router or host.  Forwarding is static: each node
+holds a routing table mapping destination node id to the outgoing
+:class:`~repro.sim.link.Link`.  Hosts additionally host *agents*
+(TCP senders/receivers, attack sources) keyed by flow id; a packet whose
+``dst`` equals the node id is delivered to the agent registered for its
+flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TYPE_CHECKING
+
+from repro.sim.packet import Packet
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A network node (host or router)."""
+
+    def __init__(self, sim: "Simulator", node_id: int, name: str = "") -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"n{node_id}"
+        #: outgoing interface per immediate next-hop node id.
+        self._links: Dict[int, "Link"] = {}
+        #: destination node id -> next-hop node id.
+        self._routes: Dict[int, int] = {}
+        #: flow id -> receive callback for locally terminated packets.
+        self._agents: Dict[int, Callable[[Packet], None]] = {}
+        #: packets that arrived with no registered agent (trace aid).
+        self.undeliverable = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_link(self, neighbor_id: int, link: "Link") -> None:
+        """Register *link* as the interface toward *neighbor_id*.
+
+        Called automatically by :class:`~repro.sim.link.Link`.
+        """
+        self._links[neighbor_id] = link
+        # A neighbor is trivially routable via the direct link.
+        self._routes.setdefault(neighbor_id, neighbor_id)
+
+    def add_route(self, dst_id: int, next_hop_id: int) -> None:
+        """Route packets for *dst_id* via the link to *next_hop_id*."""
+        if next_hop_id not in self._links:
+            raise ConfigurationError(
+                f"{self.name}: no link toward next hop n{next_hop_id}"
+            )
+        self._routes[dst_id] = next_hop_id
+
+    def register_agent(self, flow_id: int, deliver: Callable[[Packet], None]) -> None:
+        """Deliver locally terminated packets of *flow_id* to *deliver*."""
+        if flow_id in self._agents:
+            raise ConfigurationError(
+                f"{self.name}: flow {flow_id} already has an agent"
+            )
+        self._agents[flow_id] = deliver
+
+    def link_to(self, neighbor_id: int) -> "Link":
+        """The direct link toward *neighbor_id* (raises if absent)."""
+        try:
+            return self._links[neighbor_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: no link toward n{neighbor_id}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Entry point for packets arriving from a link (or locally injected)."""
+        if packet.dst == self.node_id:
+            agent = self._agents.get(packet.flow_id)
+            if agent is None:
+                self.undeliverable += 1
+                return
+            agent(packet)
+            return
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """Send *packet* toward its destination via the routing table.
+
+        Packets with no route are counted in :attr:`undeliverable` and
+        silently discarded, matching a router's behaviour rather than
+        crashing mid-simulation.
+        """
+        next_hop = self._routes.get(packet.dst)
+        if next_hop is None:
+            self.undeliverable += 1
+            return
+        self._links[next_hop].send(packet)
+
+    def send(self, packet: Packet) -> None:
+        """Inject a locally generated packet into the network."""
+        self.forward(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} links={sorted(self._links)}>"

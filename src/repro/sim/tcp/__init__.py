@@ -1,0 +1,33 @@
+"""Packet-level TCP with general AIMD(a, b) congestion control.
+
+The paper analyses a general additive-increase/multiplicative-decrease
+sender: on a fast-recovery congestion signal the window shrinks from
+``W`` to ``b * W``; in congestion avoidance it grows by ``a`` MSS per
+round-trip time (``a / d`` with delayed ACKs every ``d`` segments).
+TCP Tahoe / Reno / NewReno are AIMD(1, 0.5); TCP-friendly protocols use
+other (a, b) pairs.
+
+This package implements a segment-granular TCP in the style of ns-2's
+one-way TCP agents:
+
+* :class:`~repro.sim.tcp.sender.TCPSender` — slow start, congestion
+  avoidance with general AIMD(a, b), fast retransmit, Reno/NewReno fast
+  recovery (or Tahoe's retransmit-and-slow-start), RTO with
+  Jacobson/Karels estimation, Karn's algorithm, and exponential backoff.
+* :class:`~repro.sim.tcp.receiver.TCPReceiver` — cumulative ACKs,
+  duplicate ACKs on reordering/loss, and the delayed-ACK ``d`` factor.
+"""
+
+from repro.sim.tcp.params import AIMDParams, TCPConfig, TCPVariant
+from repro.sim.tcp.receiver import TCPReceiver
+from repro.sim.tcp.rto import RTOEstimator
+from repro.sim.tcp.sender import TCPSender
+
+__all__ = [
+    "AIMDParams",
+    "RTOEstimator",
+    "TCPConfig",
+    "TCPReceiver",
+    "TCPSender",
+    "TCPVariant",
+]

@@ -1,0 +1,122 @@
+"""TCP configuration: AIMD parameters and host/transport settings."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.util.errors import ValidationError
+
+__all__ = ["AIMDParams", "TCPConfig", "TCPVariant"]
+
+
+class TCPVariant(enum.Enum):
+    """Loss-recovery flavour of the sender."""
+
+    TAHOE = "tahoe"       #: retransmit + slow start on 3 dup ACKs
+    RENO = "reno"         #: fast recovery, exits on first new ACK
+    NEWRENO = "newreno"   #: fast recovery with partial-ACK retransmits (RFC 3782)
+    SACK = "sack"         #: scoreboard-driven recovery (RFC 2018 + RFC 3517)
+
+
+@dataclasses.dataclass(frozen=True)
+class AIMDParams:
+    """General AIMD(a, b) parameters (paper, Section 2.1).
+
+    ``increase`` (a > 0) is the additive window growth in MSS per RTT;
+    ``decrease`` (0 < b < 1) is the multiplicative factor applied on a
+    fast-recovery congestion signal.  Standard TCP is AIMD(1, 0.5).
+    """
+
+    increase: float = 1.0
+    decrease: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.increase <= 0:
+            raise ValidationError(f"AIMD increase must be > 0, got {self.increase}")
+        if not 0 < self.decrease < 1:
+            raise ValidationError(
+                f"AIMD decrease must be in (0, 1), got {self.decrease}"
+            )
+
+    @classmethod
+    def standard_tcp(cls) -> "AIMDParams":
+        """AIMD(1, 0.5) as used by Tahoe, Reno, and NewReno."""
+        return cls(1.0, 0.5)
+
+    @classmethod
+    def tcp_friendly(cls, decrease: float) -> "AIMDParams":
+        """A TCP-friendly pair: a = 4(1 - b^2)/3 (Yang & Lam, ICNP 2000).
+
+        Keeps the same mean throughput as AIMD(1, 0.5) under periodic loss.
+        """
+        if not 0 < decrease < 1:
+            raise ValidationError(f"decrease must be in (0, 1), got {decrease}")
+        return cls(4.0 * (1.0 - decrease**2) / 3.0, decrease)
+
+
+@dataclasses.dataclass(frozen=True)
+class TCPConfig:
+    """Transport/host parameters shared by a sender/receiver pair.
+
+    Attributes:
+        mss: maximum segment size (payload bytes per data packet).
+        variant: loss-recovery flavour.
+        aimd: general AIMD(a, b) parameters.
+        delayed_ack: the paper's ``d`` -- the receiver ACKs every ``d``
+            full-size segments (1 disables delayed ACKs, matching ns-2's
+            default one-way sink; 2 matches common host stacks).
+        delack_timeout: maximum time an ACK may be delayed, seconds.
+        min_rto: lower bound on the retransmission timeout.  The paper's
+            test-bed host (Linux 2.6.5) uses 200 ms; ns-2 defaults match.
+        max_rto: upper bound on the (backed-off) RTO.
+        initial_rto: the RTO before any RTT sample exists (RFC 6298
+            allows 1 s; classic BSD used 3 s).
+        rto_jitter: randomize each armed retransmission timer uniformly
+            in ``[RTO, RTO * (1 + rto_jitter)]``.  This is the defense of
+            Yang, Gerla & Sanadidi (ISCC 2004, the paper's reference
+            [7]): random timeouts desynchronize retransmissions from a
+            timeout-based attacker's pulses.  0 disables it.
+        initial_cwnd: initial congestion window, segments.
+        initial_ssthresh: initial slow-start threshold, segments.
+        max_cwnd: receiver-window cap on the congestion window, segments.
+    """
+
+    mss: int = 1460
+    variant: TCPVariant = TCPVariant.NEWRENO
+    aimd: AIMDParams = dataclasses.field(default_factory=AIMDParams.standard_tcp)
+    delayed_ack: int = 1
+    delack_timeout: float = 0.2
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    initial_rto: float = 3.0
+    rto_jitter: float = 0.0
+    initial_cwnd: float = 2.0
+    initial_ssthresh: float = 64.0
+    max_cwnd: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValidationError(f"mss must be > 0, got {self.mss}")
+        if self.delayed_ack < 1:
+            raise ValidationError(
+                f"delayed_ack must be >= 1, got {self.delayed_ack}"
+            )
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValidationError(
+                f"need 0 < min_rto <= max_rto, got [{self.min_rto}, {self.max_rto}]"
+            )
+        if self.initial_rto <= 0:
+            raise ValidationError(
+                f"initial_rto must be > 0, got {self.initial_rto}"
+            )
+        if self.rto_jitter < 0:
+            raise ValidationError(
+                f"rto_jitter must be >= 0, got {self.rto_jitter}"
+            )
+        if self.initial_cwnd < 1:
+            raise ValidationError(
+                f"initial_cwnd must be >= 1, got {self.initial_cwnd}"
+            )
+        if self.max_cwnd < self.initial_cwnd:
+            raise ValidationError("max_cwnd must be >= initial_cwnd")

@@ -1,0 +1,123 @@
+"""TCP receiver (sink) with cumulative and delayed ACKs.
+
+Mirrors ns-2's ``Agent/TCPSink/DelAck``: it tracks the highest in-order
+segment, buffers out-of-order arrivals, emits an immediate duplicate ACK
+for every out-of-order segment (this is what drives fast retransmit at
+the sender), and delays in-order ACKs until ``d`` segments have arrived
+or the delayed-ACK timer fires.
+
+For RTT estimation the receiver echoes the send timestamp of the data
+segment that triggered each ACK -- but only for first transmissions
+(Karn's algorithm); retransmitted segments carry ``retransmit=True`` and
+their timestamps are never echoed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, TYPE_CHECKING
+
+from repro.sim.packet import ACK_SIZE_BYTES, Packet, PacketKind
+from repro.sim.tcp.params import TCPConfig, TCPVariant
+from repro.sim.tcp.sack import sack_blocks_from_set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+__all__ = ["TCPReceiver"]
+
+#: Echo value meaning "no usable timestamp" (retransmission or stale).
+NO_ECHO = -1.0
+
+
+class TCPReceiver:
+    """A sink for one TCP flow, registered on its host node."""
+
+    def __init__(self, sim: "Simulator", node: "Node", flow_id: int,
+                 sender_node_id: int, config: Optional[TCPConfig] = None) -> None:
+        self.sim = sim
+        self.node = node
+        self.flow_id = flow_id
+        self.sender_node_id = sender_node_id
+        self.config = config if config is not None else TCPConfig()
+
+        #: highest in-order segment received; -1 before any data.
+        self.cumack = -1
+        self._out_of_order: Set[int] = set()
+        self._unacked_inorder = 0            # in-order segments not yet ACKed
+        self._pending_echo = NO_ECHO
+        self._delack_event = None
+
+        # statistics
+        self.segments_received = 0
+        self.duplicate_segments = 0
+        self.acks_sent = 0
+        self.bytes_received = 0
+
+        node.register_agent(flow_id, self.receive)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Process one arriving data segment."""
+        if packet.kind is not PacketKind.DATA:
+            return
+        self.segments_received += 1
+        seq = packet.seq
+        echo = NO_ECHO if packet.retransmit else packet.sent_at
+
+        if seq == self.cumack + 1:
+            # In-order arrival; absorb any contiguous buffered segments.
+            self.cumack = seq
+            self.bytes_received += self.config.mss
+            while (self.cumack + 1) in self._out_of_order:
+                self._out_of_order.discard(self.cumack + 1)
+                self.cumack += 1
+                self.bytes_received += self.config.mss
+            if self._out_of_order:
+                # Filled part of a hole: ACK immediately (RFC 2581).
+                self._send_ack(echo)
+            else:
+                self._unacked_inorder += 1
+                self._pending_echo = echo
+                if self._unacked_inorder >= self.config.delayed_ack:
+                    self._send_ack(self._pending_echo)
+                elif self._delack_event is None:
+                    self._delack_event = self.sim.schedule(
+                        self.config.delack_timeout, self._delack_fire
+                    )
+        elif seq <= self.cumack or seq in self._out_of_order:
+            # Duplicate data (a spurious retransmission); ACK immediately so
+            # the sender learns the current cumulative point.
+            self.duplicate_segments += 1
+            self._send_ack(NO_ECHO)
+        else:
+            # Out of order: buffer and emit an immediate duplicate ACK.
+            self._out_of_order.add(seq)
+            self.bytes_received += self.config.mss
+            self._send_ack(NO_ECHO)
+
+    # ------------------------------------------------------------------
+    def _delack_fire(self) -> None:
+        self._delack_event = None
+        if self._unacked_inorder > 0:
+            self._send_ack(self._pending_echo)
+
+    def _send_ack(self, echo: float) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self._unacked_inorder = 0
+        self._pending_echo = NO_ECHO
+        ack = Packet(
+            PacketKind.ACK,
+            flow_id=self.flow_id,
+            src=self.node.node_id,
+            dst=self.sender_node_id,
+            size_bytes=ACK_SIZE_BYTES,
+            ack=self.cumack,
+            sent_at=echo,
+        )
+        if self.config.variant is TCPVariant.SACK and self._out_of_order:
+            ack.sack = sack_blocks_from_set(self._out_of_order)
+        self.acks_sent += 1
+        self.node.send(ack)

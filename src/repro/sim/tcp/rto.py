@@ -1,0 +1,78 @@
+"""Retransmission-timeout estimation (Jacobson/Karels, RFC 6298 style).
+
+The estimator keeps the smoothed RTT and RTT variance, clamps the RTO to
+``[min_rto, max_rto]``, and applies exponential backoff on successive
+timeouts.  Karn's algorithm (never sample a retransmitted segment) is
+enforced by the caller: the receiver only echoes timestamps of
+first-transmission segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.validate import check_positive
+
+__all__ = ["RTOEstimator"]
+
+#: smoothing gain for the mean (RFC 6298 alpha).
+_ALPHA = 0.125
+#: smoothing gain for the variance (RFC 6298 beta).
+_BETA = 0.25
+#: variance multiplier in the RTO formula.
+_K = 4.0
+#: default clock granularity G: the variance term is floored at G
+#: (RFC 6298's ``max(G, K*RTTVAR)``) so a perfectly steady RTT does not
+#: collapse the RTO onto the RTT itself and fire spuriously on the
+#: first queueing hiccup.  ns-2 achieves the same with its RTT tick.
+_DEFAULT_GRANULARITY = 0.05
+
+
+class RTOEstimator:
+    """Adaptive RTO per RFC 6298 with exponential backoff."""
+
+    def __init__(self, min_rto: float = 0.2, max_rto: float = 60.0,
+                 initial_rto: float = 3.0,
+                 granularity: float = _DEFAULT_GRANULARITY) -> None:
+        self.min_rto = check_positive("min_rto", min_rto)
+        self.max_rto = check_positive("max_rto", max_rto)
+        self.granularity = check_positive("granularity", granularity)
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._base_rto = max(min(initial_rto, max_rto), min_rto)
+        self._backoff = 1
+
+    # ------------------------------------------------------------------
+    def sample(self, rtt: float) -> None:
+        """Feed one (non-retransmitted) round-trip-time measurement."""
+        if rtt < 0:
+            return  # clock skew artefact; ignore rather than poison the filter
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - _BETA) * self.rttvar + _BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - _ALPHA) * self.srtt + _ALPHA * rtt
+        raw = self.srtt + max(_K * self.rttvar, self.granularity)
+        self._base_rto = min(max(raw, self.min_rto), self.max_rto)
+        # A fresh sample re-validates the estimate; clear any backoff.
+        self._backoff = 1
+
+    @property
+    def rto(self) -> float:
+        """Current timeout value (base RTO times the backoff multiplier)."""
+        return min(self._base_rto * self._backoff, self.max_rto)
+
+    def backoff(self) -> float:
+        """Double the timeout after an expiry; returns the new RTO."""
+        self._backoff = min(self._backoff * 2, 64)
+        return self.rto
+
+    def reset_backoff(self) -> None:
+        """Clear exponential backoff (e.g. when new data is ACKed)."""
+        self._backoff = 1
+
+    @property
+    def backoff_multiplier(self) -> int:
+        """Current exponential-backoff multiplier (1 when not backed off)."""
+        return self._backoff

@@ -1,0 +1,127 @@
+"""Selective-acknowledgement scoreboard (RFC 2018 / RFC 3517 style).
+
+The receiver reports up to three SACK blocks of out-of-order data on
+every ACK; the sender's :class:`Scoreboard` accumulates them and drives
+loss detection and the pipe estimate during SACK-based recovery:
+
+* a segment is **lost** when at least ``DupThresh`` (3) SACKed segments
+  lie above it (RFC 3517's ``IsLost`` with segment granularity);
+* ``pipe`` counts segments still believed in flight: sent, not
+  cumulatively ACKed, not SACKed, minus detected-lost segments that have
+  not been retransmitted yet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Scoreboard", "sack_blocks_from_set"]
+
+#: RFC 3517 DupThresh, in segments.
+DUP_THRESHOLD = 3
+
+
+def sack_blocks_from_set(out_of_order: Set[int], *,
+                         max_blocks: int = 3) -> Tuple[Tuple[int, int], ...]:
+    """Condense an out-of-order segment set into SACK blocks.
+
+    Blocks are inclusive ``(start, end)`` segment ranges, highest first
+    (approximating RFC 2018's most-recent-first ordering for a bulk
+    receiver where the newest arrivals have the highest sequence
+    numbers).
+    """
+    if not out_of_order:
+        return ()
+    blocks: List[Tuple[int, int]] = []
+    run_start: Optional[int] = None
+    previous: Optional[int] = None
+    for seq in sorted(out_of_order):
+        if run_start is None:
+            run_start = previous = seq
+            continue
+        if seq == previous + 1:
+            previous = seq
+            continue
+        blocks.append((run_start, previous))
+        run_start = previous = seq
+    blocks.append((run_start, previous))
+    blocks.sort(key=lambda block: block[0], reverse=True)
+    return tuple(blocks[:max_blocks])
+
+
+class Scoreboard:
+    """The sender-side view of SACKed, lost, and retransmitted segments."""
+
+    def __init__(self) -> None:
+        self._sacked: Set[int] = set()
+        self._retransmitted: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def record(self, blocks: Iterable[Tuple[int, int]], cumack: int) -> int:
+        """Absorb SACK blocks; returns how many *new* segments were SACKed."""
+        before = len(self._sacked)
+        for start, end in blocks:
+            self._sacked.update(range(start, end + 1))
+        self.advance(cumack)
+        return len(self._sacked) - before
+
+    def advance(self, cumack: int) -> None:
+        """Forget state at or below the cumulative ACK point."""
+        self._sacked = {seq for seq in self._sacked if seq > cumack}
+        self._retransmitted = {
+            seq for seq in self._retransmitted if seq > cumack
+        }
+
+    def reset(self) -> None:
+        """Clear everything (used after a retransmission timeout)."""
+        self._sacked.clear()
+        self._retransmitted.clear()
+
+    # ------------------------------------------------------------------
+    def is_sacked(self, seq: int) -> bool:
+        return seq in self._sacked
+
+    def sacked_above(self, seq: int) -> int:
+        """Number of SACKed segments with a higher sequence number."""
+        return sum(1 for s in self._sacked if s > seq)
+
+    def is_lost(self, seq: int) -> bool:
+        """RFC 3517 IsLost: >= DupThresh SACKed segments above *seq*."""
+        return seq not in self._sacked and self.sacked_above(seq) >= DUP_THRESHOLD
+
+    def mark_retransmitted(self, seq: int) -> None:
+        self._retransmitted.add(seq)
+
+    def was_retransmitted(self, seq: int) -> bool:
+        return seq in self._retransmitted
+
+    # ------------------------------------------------------------------
+    def next_lost_hole(self, cumack: int, highest_sent: int) -> Optional[int]:
+        """Lowest detected-lost, not-yet-retransmitted segment, if any."""
+        for seq in range(cumack + 1, highest_sent + 1):
+            if (seq not in self._sacked
+                    and seq not in self._retransmitted
+                    and self.is_lost(seq)):
+                return seq
+        return None
+
+    def pipe(self, cumack: int, highest_sent: int) -> int:
+        """Segments estimated to be in flight (RFC 3517 SetPipe, simplified).
+
+        ``(sent − acked) − sacked − (lost ∧ ¬retransmitted)``: SACKed
+        segments have left the network; detected-lost ones that were not
+        resent are gone too; everything else (including retransmissions)
+        still occupies the pipe.
+        """
+        outstanding = highest_sent - cumack
+        missing = 0
+        for seq in range(cumack + 1, highest_sent + 1):
+            if seq in self._sacked:
+                missing += 1
+            elif self.is_lost(seq) and seq not in self._retransmitted:
+                missing += 1
+        return outstanding - missing
+
+    @property
+    def sacked_count(self) -> int:
+        return len(self._sacked)

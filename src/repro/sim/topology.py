@@ -1,0 +1,421 @@
+"""Scenario topologies.
+
+:func:`build_dumbbell` constructs the paper's simulation topology
+(Fig. 5): ``M`` TCP sender/receiver pairs on 50 Mb/s access links, a
+15 Mb/s RED bottleneck between routers S and R, flow RTTs spread over
+20-460 ms, and an attacker whose pulses cross the bottleneck toward a
+sink behind router R.
+
+Node id layout (M flows)::
+
+    0            router S
+    1            router R
+    2 .. M+1     TCP sender hosts
+    M+2 .. 2M+1  TCP receiver hosts
+    2M+2         attacker host
+    2M+3         attack sink host
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.attack import PulseTrain
+from repro.sim.attacker import PulseAttackSource
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.queues import DropTailQueue, QueueDiscipline, REDQueue
+from repro.sim.tcp import TCPConfig, TCPReceiver, TCPSender
+from repro.util.errors import ConfigurationError
+from repro.util.units import mbps, ms
+from repro.util.validate import check_positive
+
+__all__ = ["DumbbellConfig", "DumbbellNetwork", "build_dumbbell",
+           "make_red_queue", "make_droptail_queue", "make_choke_queue"]
+
+#: Size of a full data packet on the wire (MSS 1460 + 40 B headers).
+FULL_PACKET_BYTES = 1500.0
+
+
+def make_red_queue(
+    capacity_bytes: float,
+    *,
+    rng: Optional[random.Random] = None,
+    service_rate_bps: Optional[float] = None,
+    mean_pkt_bytes: float = FULL_PACKET_BYTES,
+    byte_mode: bool = False,
+) -> REDQueue:
+    """A RED queue configured like the paper's test-bed (Section 4.2).
+
+    Thresholds at 20% / 80% of the buffer, ``w_q = 0.002``,
+    ``max_p = 0.1``, ``gentle_ = true``.  In packet mode (the ns-2
+    default) the byte fractions are converted to packet counts using the
+    mean packet size.
+    """
+    if byte_mode:
+        min_th, max_th = 0.2 * capacity_bytes, 0.8 * capacity_bytes
+    else:
+        capacity_pkts = capacity_bytes / mean_pkt_bytes
+        min_th, max_th = 0.2 * capacity_pkts, 0.8 * capacity_pkts
+    return REDQueue(
+        capacity_bytes,
+        min_th=min_th,
+        max_th=max_th,
+        max_p=0.1,
+        w_q=0.002,
+        gentle=True,
+        byte_mode=byte_mode,
+        mean_pkt_bytes=mean_pkt_bytes,
+        service_rate_bps=service_rate_bps,
+        rng=rng,
+    )
+
+
+def make_droptail_queue(capacity_bytes: float, **_ignored) -> DropTailQueue:
+    """A drop-tail queue of the same physical capacity (ablation baseline)."""
+    return DropTailQueue(capacity_bytes)
+
+
+def make_choke_queue(
+    capacity_bytes: float,
+    *,
+    rng: Optional[random.Random] = None,
+    service_rate_bps: Optional[float] = None,
+    mean_pkt_bytes: float = FULL_PACKET_BYTES,
+    byte_mode: bool = False,
+) -> "CHOKeQueue":
+    """A CHOKe queue with the same thresholds as :func:`make_red_queue`.
+
+    The pulse-resistant AQM evaluated by the RED-hardening defense
+    experiment (the direction the paper's conclusion motivates).
+    """
+    from repro.sim.queues import CHOKeQueue
+
+    if byte_mode:
+        min_th, max_th = 0.2 * capacity_bytes, 0.8 * capacity_bytes
+    else:
+        capacity_pkts = capacity_bytes / mean_pkt_bytes
+        min_th, max_th = 0.2 * capacity_pkts, 0.8 * capacity_pkts
+    return CHOKeQueue(
+        capacity_bytes,
+        min_th=min_th,
+        max_th=max_th,
+        max_p=0.1,
+        w_q=0.002,
+        gentle=True,
+        byte_mode=byte_mode,
+        mean_pkt_bytes=mean_pkt_bytes,
+        service_rate_bps=service_rate_bps,
+        rng=rng,
+    )
+
+
+@dataclasses.dataclass
+class DumbbellConfig:
+    """Parameters of the Fig. 5 dumbbell.
+
+    Defaults reproduce the paper's ns-2 setup: 50 Mb/s access links,
+    15 Mb/s bottleneck with RED, TCP NewReno, RTTs evenly spread over
+    20-460 ms.  The bottleneck buffer defaults to 180 full-size packets
+    (about half the bandwidth-delay product at the mean RTT) -- large
+    enough that a 50 ms pulse is partially absorbed (the paper's
+    under-gain regime) while a 100 ms pulse overflows it (normal/over
+    gain), which is the gradient Section 4.1.1 describes.
+    """
+
+    n_flows: int = 15
+    access_rate_bps: float = mbps(50)
+    bottleneck_rate_bps: float = mbps(15)
+    rtt_min: float = ms(20)
+    rtt_max: float = ms(460)
+    bottleneck_delay: float = ms(4)
+    receiver_access_delay: float = ms(1)
+    buffer_bytes: float = 180 * FULL_PACKET_BYTES
+    queue_factory: Callable[..., QueueDiscipline] = None  # type: ignore[assignment]
+    tcp: TCPConfig = dataclasses.field(default_factory=TCPConfig)
+    attacker_access_rate_bps: float = mbps(1000)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_flows < 1:
+            raise ConfigurationError(f"n_flows must be >= 1, got {self.n_flows}")
+        check_positive("access_rate_bps", self.access_rate_bps)
+        check_positive("bottleneck_rate_bps", self.bottleneck_rate_bps)
+        check_positive("buffer_bytes", self.buffer_bytes)
+        if not 0 < self.rtt_min <= self.rtt_max:
+            raise ConfigurationError(
+                f"need 0 < rtt_min <= rtt_max, got [{self.rtt_min}, {self.rtt_max}]"
+            )
+        if self.queue_factory is None:
+            self.queue_factory = make_red_queue
+
+    def flow_rtts(self) -> np.ndarray:
+        """Per-flow propagation RTTs, evenly spread over [rtt_min, rtt_max]."""
+        if self.n_flows == 1:
+            return np.array([(self.rtt_min + self.rtt_max) / 2.0])
+        return np.linspace(self.rtt_min, self.rtt_max, self.n_flows)
+
+
+class DumbbellNetwork:
+    """A built dumbbell scenario: nodes, links, agents, and helpers."""
+
+    def __init__(self, config: DumbbellConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = random.Random(config.seed)
+
+        m = config.n_flows
+        self.router_s = Node(self.sim, 0, "routerS")
+        self.router_r = Node(self.sim, 1, "routerR")
+        self.sender_nodes = [
+            Node(self.sim, 2 + i, f"sender{i}") for i in range(m)
+        ]
+        self.receiver_nodes = [
+            Node(self.sim, 2 + m + i, f"receiver{i}") for i in range(m)
+        ]
+        self.attacker_node = Node(self.sim, 2 + 2 * m, "attacker")
+        self.attack_sink_node = Node(self.sim, 3 + 2 * m, "attackSink")
+
+        self._build_links()
+        self._build_routes()
+        self._build_flows()
+        self.attack_sources: List[PulseAttackSource] = []
+        self._next_attack_flow_id = 10_000
+        self._next_node_id = 4 + 2 * m
+
+    # ------------------------------------------------------------------
+    def _build_links(self) -> None:
+        cfg = self.config
+        sim = self.sim
+        rtts = cfg.flow_rtts()
+        # One-way fixed components of the path: sender access + bottleneck
+        # + receiver access.  All flow-specific delay goes on the sender
+        # access link so the configured RTT spread is achieved exactly.
+        fixed_one_way = cfg.bottleneck_delay + cfg.receiver_access_delay
+        access_buffer = 4_000_000.0  # generous; only the bottleneck drops
+
+        self.sender_links: List[Link] = []
+        self.sender_return_links: List[Link] = []
+        for i, (sender, rtt) in enumerate(zip(self.sender_nodes, rtts)):
+            one_way = rtt / 2.0
+            access_delay = one_way - fixed_one_way
+            if access_delay <= 0:
+                raise ConfigurationError(
+                    f"flow {i}: RTT {rtt * 1e3:.0f}ms too small for the fixed "
+                    f"path delay {2 * fixed_one_way * 1e3:.0f}ms"
+                )
+            self.sender_links.append(Link(
+                sim, sender, self.router_s, cfg.access_rate_bps,
+                access_delay, DropTailQueue(access_buffer),
+                name=f"sender{i}->S",
+            ))
+            self.sender_return_links.append(Link(
+                sim, self.router_s, sender, cfg.access_rate_bps,
+                access_delay, DropTailQueue(access_buffer),
+                name=f"S->sender{i}",
+            ))
+
+        self.receiver_links: List[Link] = []
+        self.receiver_return_links: List[Link] = []
+        for i, receiver in enumerate(self.receiver_nodes):
+            self.receiver_links.append(Link(
+                sim, self.router_r, receiver, cfg.access_rate_bps,
+                cfg.receiver_access_delay, DropTailQueue(access_buffer),
+                name=f"R->receiver{i}",
+            ))
+            self.receiver_return_links.append(Link(
+                sim, receiver, self.router_r, cfg.access_rate_bps,
+                cfg.receiver_access_delay, DropTailQueue(access_buffer),
+                name=f"receiver{i}->R",
+            ))
+
+        # The contested bottleneck S->R, plus the (ACK-carrying) reverse path.
+        self.bottleneck_queue = cfg.queue_factory(
+            cfg.buffer_bytes,
+            rng=self.rng,
+            service_rate_bps=cfg.bottleneck_rate_bps,
+        )
+        self.bottleneck = Link(
+            sim, self.router_s, self.router_r, cfg.bottleneck_rate_bps,
+            cfg.bottleneck_delay, self.bottleneck_queue, name="bottleneck",
+        )
+        self.reverse_bottleneck = Link(
+            sim, self.router_r, self.router_s, cfg.bottleneck_rate_bps,
+            cfg.bottleneck_delay, DropTailQueue(4_000_000.0),
+            name="bottleneck-reverse",
+        )
+
+        # Attacker and attack sink attachment.
+        self.attacker_link = Link(
+            sim, self.attacker_node, self.router_s, cfg.attacker_access_rate_bps,
+            ms(1), DropTailQueue(16_000_000.0), name="attacker->S",
+        )
+        self.attack_sink_link = Link(
+            sim, self.router_r, self.attack_sink_node, cfg.attacker_access_rate_bps,
+            ms(1), DropTailQueue(16_000_000.0), name="R->attackSink",
+        )
+
+    def _build_routes(self) -> None:
+        m = self.config.n_flows
+        router_s, router_r = self.router_s, self.router_r
+        sink_id = self.attack_sink_node.node_id
+        for i in range(m):
+            sender_id = 2 + i
+            receiver_id = 2 + m + i
+            # Hosts: everything via their access link.
+            self.sender_nodes[i].add_route(receiver_id, router_s.node_id)
+            self.receiver_nodes[i].add_route(sender_id, router_r.node_id)
+            # Router S: data forward to R, ACKs back to senders.
+            router_s.add_route(receiver_id, router_r.node_id)
+            # Router R: data out to receivers, ACKs back toward S.
+            router_r.add_route(sender_id, router_s.node_id)
+        self.attacker_node.add_route(sink_id, router_s.node_id)
+        router_s.add_route(sink_id, router_r.node_id)
+
+    def _build_flows(self) -> None:
+        cfg = self.config
+        m = cfg.n_flows
+        self.senders: List[TCPSender] = []
+        self.receivers: List[TCPReceiver] = []
+        for i in range(m):
+            flow_id = i
+            sender = TCPSender(
+                self.sim, self.sender_nodes[i], flow_id,
+                receiver_node_id=2 + m + i, config=cfg.tcp,
+            )
+            receiver = TCPReceiver(
+                self.sim, self.receiver_nodes[i], flow_id,
+                sender_node_id=2 + i, config=cfg.tcp,
+            )
+            self.senders.append(sender)
+            self.receivers.append(receiver)
+
+    # ------------------------------------------------------------------
+    # scenario control
+    # ------------------------------------------------------------------
+    def start_flows(self, *, stagger: float = 0.1) -> None:
+        """Start all TCP flows, staggered to avoid a synchronized start."""
+        for i, sender in enumerate(self.senders):
+            jitter = self.rng.uniform(0.0, stagger)
+            sender.start(at=self.sim.now + jitter)
+
+    def add_attack(self, train: PulseTrain, *, packet_bytes: float = 1500.0,
+                   start_time: float = 0.0) -> PulseAttackSource:
+        """Attach (but do not start) a pulse-train attack source."""
+        flow_id = self._next_attack_flow_id
+        self._next_attack_flow_id += 1
+        self.attack_sink_node.register_agent(flow_id, _discard_packet)
+        source = PulseAttackSource(
+            self.sim, self.attacker_node, flow_id,
+            self.attack_sink_node.node_id, train,
+            packet_bytes=packet_bytes, start_time=start_time,
+        )
+        self.attack_sources.append(source)
+        return source
+
+    def add_host_pair(self, *, rtt: float = ms(100)):
+        """Attach an extra sender/receiver host pair across the bottleneck.
+
+        Used by short-flow ("mice") workloads that coexist with the main
+        long-lived flows.  Returns ``(sender_host, receiver_host)`` with
+        two-way routes installed.  All flow-specific delay goes on the
+        sender's access link, as for the primary flows.
+        """
+        cfg = self.config
+        fixed_one_way = cfg.bottleneck_delay + cfg.receiver_access_delay
+        access_delay = rtt / 2.0 - fixed_one_way
+        if access_delay <= 0:
+            raise ConfigurationError(
+                f"rtt {rtt * 1e3:.0f}ms too small for the fixed path delay"
+            )
+        buffer = 4_000_000.0
+        sender_host = Node(self.sim, self._next_node_id,
+                           f"host{self._next_node_id}")
+        self._next_node_id += 1
+        receiver_host = Node(self.sim, self._next_node_id,
+                             f"host{self._next_node_id}")
+        self._next_node_id += 1
+        Link(self.sim, sender_host, self.router_s, cfg.access_rate_bps,
+             access_delay, DropTailQueue(buffer))
+        Link(self.sim, self.router_s, sender_host, cfg.access_rate_bps,
+             access_delay, DropTailQueue(buffer))
+        Link(self.sim, self.router_r, receiver_host, cfg.access_rate_bps,
+             cfg.receiver_access_delay, DropTailQueue(buffer))
+        Link(self.sim, receiver_host, self.router_r, cfg.access_rate_bps,
+             cfg.receiver_access_delay, DropTailQueue(buffer))
+        sender_host.add_route(receiver_host.node_id, self.router_s.node_id)
+        receiver_host.add_route(sender_host.node_id, self.router_r.node_id)
+        self.router_s.add_route(receiver_host.node_id, self.router_r.node_id)
+        self.router_r.add_route(sender_host.node_id, self.router_s.node_id)
+        return sender_host, receiver_host
+
+    def add_attacker_host(self) -> Node:
+        """Attach an additional attack-source host (for DDoS scenarios)."""
+        cfg = self.config
+        node = Node(self.sim, self._next_node_id,
+                    f"attacker{self._next_node_id}")
+        self._next_node_id += 1
+        Link(
+            self.sim, node, self.router_s, cfg.attacker_access_rate_bps,
+            ms(1), DropTailQueue(16_000_000.0),
+            name=f"{node.name}->S",
+        )
+        node.add_route(self.attack_sink_node.node_id, self.router_s.node_id)
+        return node
+
+    def launch_distributed(self, attack, *, packet_bytes: float = 1500.0,
+                           start_time: float = 0.0) -> List[PulseAttackSource]:
+        """Launch a :class:`~repro.core.distributed.DistributedAttack`.
+
+        Each per-source train runs from its own attacker host (distinct
+        flow ids, distinct ingress links), offset per the split strategy.
+        Sources are started immediately.
+        """
+        sources: List[PulseAttackSource] = []
+        for train, offset in zip(attack.trains, attack.offsets):
+            host = self.add_attacker_host()
+            flow_id = self._next_attack_flow_id
+            self._next_attack_flow_id += 1
+            self.attack_sink_node.register_agent(flow_id, _discard_packet)
+            source = PulseAttackSource(
+                self.sim, host, flow_id, self.attack_sink_node.node_id,
+                train, packet_bytes=packet_bytes,
+                start_time=start_time + offset,
+            )
+            source.start()
+            sources.append(source)
+            self.attack_sources.append(source)
+        return sources
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time *until*."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def flow_rtts(self) -> np.ndarray:
+        """Propagation RTT of each flow, seconds (as configured)."""
+        return self.config.flow_rtts()
+
+    def aggregate_goodput_bytes(self) -> float:
+        """Total payload bytes delivered across all TCP flows so far."""
+        return float(sum(sender.goodput_bytes() for sender in self.senders))
+
+    def goodput_snapshot(self) -> np.ndarray:
+        """Per-flow delivered payload bytes (for windowed measurements)."""
+        return np.array([sender.goodput_bytes() for sender in self.senders])
+
+
+def _discard_packet(_packet) -> None:
+    """Attack-sink agent: attack datagrams terminate here."""
+
+
+def build_dumbbell(config: Optional[DumbbellConfig] = None) -> DumbbellNetwork:
+    """Construct the Fig. 5 dumbbell scenario."""
+    return DumbbellNetwork(config if config is not None else DumbbellConfig())

@@ -1,0 +1,149 @@
+"""Tracing and measurement instruments.
+
+These attach to links (via :attr:`Link.monitors`) or are queried from
+agents after a run.  The paper's measurements map onto:
+
+* :class:`RateMonitor` — the binned incoming-traffic time series used for
+  the quasi-global-synchronization analysis (Fig. 3); it separates attack
+  bytes from legitimate bytes.
+* :class:`DropMonitor` — per-arrival drop records at the bottleneck.
+* :class:`QueueSampler` — periodic queue-occupancy samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.packet import Packet
+from repro.util.validate import check_positive
+
+__all__ = ["RateMonitor", "DropMonitor", "QueueSampler"]
+
+
+class RateMonitor:
+    """Bins accepted bytes on a link into fixed-width time buckets.
+
+    Attach to a link with ``link.monitors.append(monitor.observe)``.
+
+    Args:
+        bin_width: bucket width in seconds (the paper uses sub-second bins
+            to resolve pulses of 50-150 ms).
+        horizon: observation window in seconds; arrivals past it are
+            ignored so the arrays have a fixed, known shape.
+        count_dropped: if True, dropped arrivals are counted too
+            (offered load); if False only accepted bytes are counted
+            (carried load).  The paper's "incoming traffic" is offered
+            load at the router, so the default is True.
+    """
+
+    def __init__(self, bin_width: float, horizon: float, *,
+                 count_dropped: bool = True) -> None:
+        self.bin_width = check_positive("bin_width", bin_width)
+        self.horizon = check_positive("horizon", horizon)
+        self.count_dropped = count_dropped
+        self.n_bins = int(math.ceil(horizon / bin_width))
+        self._total = np.zeros(self.n_bins)
+        self._attack = np.zeros(self.n_bins)
+
+    def observe(self, packet: Packet, now: float, accepted: bool) -> None:
+        """Link-monitor callback."""
+        if not accepted and not self.count_dropped:
+            return
+        index = int(now / self.bin_width)
+        if 0 <= index < self.n_bins:
+            self._total[index] += packet.size_bytes
+            if packet.is_attack:
+                self._attack[index] += packet.size_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Bin centre timestamps, seconds."""
+        return (np.arange(self.n_bins) + 0.5) * self.bin_width
+
+    @property
+    def bytes_per_bin(self) -> np.ndarray:
+        """Total bytes (attack + legitimate) per bin."""
+        return self._total.copy()
+
+    @property
+    def attack_bytes_per_bin(self) -> np.ndarray:
+        """Attack bytes per bin."""
+        return self._attack.copy()
+
+    @property
+    def legit_bytes_per_bin(self) -> np.ndarray:
+        """Legitimate (non-attack) bytes per bin."""
+        return self._total - self._attack
+
+    def rate_bps(self) -> np.ndarray:
+        """Per-bin average arrival rate in bits per second."""
+        return self._total * 8.0 / self.bin_width
+
+
+class DropMonitor:
+    """Records ``(time, flow_id, is_attack)`` for every dropped arrival."""
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[float, int, bool]] = []
+
+    def observe(self, packet: Packet, now: float, accepted: bool) -> None:
+        """Link-monitor callback."""
+        if not accepted:
+            self.records.append((now, packet.flow_id, packet.is_attack))
+
+    @property
+    def total_drops(self) -> int:
+        return len(self.records)
+
+    @property
+    def legit_drops(self) -> int:
+        return sum(1 for _, _, is_attack in self.records if not is_attack)
+
+    @property
+    def attack_drops(self) -> int:
+        return sum(1 for _, _, is_attack in self.records if is_attack)
+
+    def drop_times(self, *, legit_only: bool = False) -> np.ndarray:
+        """Timestamps of drops, optionally restricted to legitimate flows."""
+        return np.array([
+            t for t, _, is_attack in self.records
+            if not (legit_only and is_attack)
+        ])
+
+
+class QueueSampler:
+    """Samples a link's buffer occupancy every *interval* seconds.
+
+    Start with :meth:`start`; samples accumulate in :attr:`samples` as
+    ``(time, queue_bytes, queue_packets)``.
+    """
+
+    def __init__(self, link, interval: float = 0.01,
+                 horizon: Optional[float] = None) -> None:
+        self.link = link
+        self.interval = check_positive("interval", interval)
+        self.horizon = horizon
+        self.samples: List[Tuple[float, float, int]] = []
+
+    def start(self) -> None:
+        """Begin periodic sampling (schedules itself)."""
+        self._tick()
+
+    def _tick(self) -> None:
+        sim = self.link.sim
+        now = sim.now
+        if self.horizon is not None and now > self.horizon:
+            return
+        self.samples.append((now, self.link.queue_bytes, self.link.queue_packets))
+        sim.schedule(self.interval, self._tick)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (times, queue_bytes, queue_packets) as numpy arrays."""
+        if not self.samples:
+            return np.array([]), np.array([]), np.array([])
+        times, qbytes, qpkts = zip(*self.samples)
+        return np.array(times), np.array(qbytes), np.array(qpkts)

@@ -1,0 +1,169 @@
+"""ns-2-style trace files.
+
+ns-2 users analyse attacks from its classic whitespace trace format::
+
+    + 1.84375 0 2 tcp 1500 ------- 1 0.0 2.0 25 40
+
+This module writes the enqueue-side subset of that format from a link
+monitor (``+`` accepted into the queue, ``d`` dropped) and parses it
+back, so existing awk/pandas ns-2 tooling can consume this simulator's
+output and, conversely, archived runs can be re-analysed offline.
+
+Column layout (matching ns-2's positional fields):
+
+====== =======================================
+column meaning
+====== =======================================
+1      event: ``+`` enqueue, ``d`` drop
+2      time, seconds
+3      link source node id
+4      link destination node id
+5      packet type: tcp / ack / attack / cbr
+6      size, bytes
+7      flags (always ``-------``)
+8      flow id
+9      source "addr.port" (node id, port 0)
+10     destination "addr.port"
+11     sequence number (-1 when absent)
+12     packet uid
+====== =======================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.sim.link import Link
+from repro.sim.packet import Packet, PacketKind
+from repro.util.errors import ValidationError
+
+__all__ = ["TraceWriter", "TraceRecord", "read_trace"]
+
+_TYPE_NAMES = {
+    PacketKind.DATA: "tcp",
+    PacketKind.ACK: "ack",
+    PacketKind.ATTACK: "attack",
+    PacketKind.CBR: "cbr",
+}
+_TYPE_KINDS = {name: kind for kind, name in _TYPE_NAMES.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One parsed trace line."""
+
+    event: str
+    time: float
+    from_node: int
+    to_node: int
+    kind: PacketKind
+    size_bytes: float
+    flow_id: int
+    src: int
+    dst: int
+    seq: Optional[int]
+    uid: int
+
+    @property
+    def dropped(self) -> bool:
+        return self.event == "d"
+
+
+class TraceWriter:
+    """Streams ns-2-style trace lines for every arrival at a link.
+
+    Attach with :meth:`attach`, or pass monitors manually::
+
+        writer = TraceWriter(open("out.tr", "w"))
+        writer.attach(net.bottleneck)
+        ...
+        writer.close()
+
+    The writer may observe any number of links; each line carries the
+    link's endpoint node ids.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self.lines_written = 0
+        self._owned = False
+
+    @classmethod
+    def to_path(cls, path) -> "TraceWriter":
+        """Open *path* for writing and own the file handle."""
+        writer = cls(open(path, "w"))
+        writer._owned = True
+        return writer
+
+    def attach(self, link: Link) -> None:
+        """Start tracing arrivals at *link*."""
+        from_node = link.src.node_id
+        to_node = link.dst.node_id
+
+        def observe(packet: Packet, now: float, accepted: bool,
+                    _from=from_node, _to=to_node) -> None:
+            self._write(packet, now, accepted, _from, _to)
+
+        link.monitors.append(observe)
+
+    def _write(self, packet: Packet, now: float, accepted: bool,
+               from_node: int, to_node: int) -> None:
+        event = "+" if accepted else "d"
+        seq = packet.seq if packet.seq is not None else -1
+        self._stream.write(
+            f"{event} {now:.6f} {from_node} {to_node} "
+            f"{_TYPE_NAMES[packet.kind]} {packet.size_bytes:.0f} ------- "
+            f"{packet.flow_id} {packet.src}.0 {packet.dst}.0 {seq} "
+            f"{packet.uid}\n"
+        )
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this writer opened it."""
+        self._stream.flush()
+        if self._owned:
+            self._stream.close()
+
+
+def read_trace(source: Union[str, TextIO, Iterable[str]]) -> List[TraceRecord]:
+    """Parse trace lines from a path, stream, or line iterable."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return read_trace(handle)
+    records: List[TraceRecord] = []
+    for line_number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 12:
+            raise ValidationError(
+                f"line {line_number}: expected 12 fields, got {len(fields)}"
+            )
+        event = fields[0]
+        if event not in ("+", "d"):
+            raise ValidationError(
+                f"line {line_number}: unknown event {event!r}"
+            )
+        kind = _TYPE_KINDS.get(fields[4])
+        if kind is None:
+            raise ValidationError(
+                f"line {line_number}: unknown packet type {fields[4]!r}"
+            )
+        seq = int(fields[10])
+        records.append(TraceRecord(
+            event=event,
+            time=float(fields[1]),
+            from_node=int(fields[2]),
+            to_node=int(fields[3]),
+            kind=kind,
+            size_bytes=float(fields[5]),
+            flow_id=int(fields[7]),
+            src=int(fields[8].split(".")[0]),
+            dst=int(fields[9].split(".")[0]),
+            seq=None if seq < 0 else seq,
+            uid=int(fields[11]),
+        ))
+    return records

@@ -1,0 +1,185 @@
+"""Short-flow ("mice") workload generation.
+
+The shrew literature frames pulsing attacks as "the shrew vs the mice
+and elephants": long-lived bulk flows (elephants) share the bottleneck
+with a churn of short transfers (mice).  Mice are disproportionately
+fragile -- a pulse that costs an elephant one window costs a mouse its
+whole initial window, pushing its completion time from milliseconds to
+multiples of the RTO.
+
+:class:`ShortFlowWorkload` launches back-to-back finite TCP transfers
+between a host pair: flow sizes and inter-arrival gaps are drawn from
+seeded distributions, each completed flow records its flow completion
+time (FCT), and summary percentiles are available afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.tcp import TCPConfig, TCPReceiver, TCPSender
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+__all__ = ["ShortFlowWorkload", "FlowRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowRecord:
+    """One completed (or abandoned) short flow.
+
+    Attributes:
+        flow_id: the transfer's flow id.
+        size_segments: requested transfer length.
+        started_at: launch time.
+        completion_time: FCT in seconds, or None if unfinished at the
+            end of the run.
+    """
+
+    flow_id: int
+    size_segments: int
+    started_at: float
+    completion_time: Optional[float]
+
+
+class ShortFlowWorkload:
+    """Sequentially launched finite transfers between two hosts.
+
+    Args:
+        sim: the event engine.
+        src / dst: the host pair (must be routable both ways).
+        flow_id_base: first flow id; each transfer takes the next id.
+        tcp: transport configuration shared by all transfers.
+        mean_size_segments: mean flow size (geometric-ish via lognormal).
+        mean_interarrival: mean gap between a launch and the next,
+            seconds (exponential).
+        seed: RNG seed for sizes and gaps.
+        max_flows: stop after this many launches.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: "Node",
+        dst: "Node",
+        *,
+        flow_id_base: int = 50_000,
+        tcp: Optional[TCPConfig] = None,
+        mean_size_segments: float = 20.0,
+        mean_interarrival: float = 0.5,
+        seed: int = 9,
+        max_flows: int = 10_000,
+    ) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.tcp = tcp if tcp is not None else TCPConfig()
+        self.mean_size_segments = check_positive(
+            "mean_size_segments", mean_size_segments
+        )
+        self.mean_interarrival = check_positive(
+            "mean_interarrival", mean_interarrival
+        )
+        if max_flows < 1:
+            raise ValidationError(f"max_flows must be >= 1, got {max_flows}")
+        self.max_flows = max_flows
+        self._rng = random.Random(seed)
+        self._next_flow_id = flow_id_base
+        self._launched = 0
+        #: live senders keyed by flow id (drained into records on finish).
+        self._active = {}
+        self.records: List[FlowRecord] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the first flow now; subsequent ones follow the process."""
+        if self._started:
+            return
+        self._started = True
+        self._launch()
+
+    def _draw_size(self) -> int:
+        # Lognormal with the requested mean: sigma fixed at 1 (heavy-ish
+        # tail, like web transfer sizes), mu solved from the mean.
+        sigma = 1.0
+        mu = np.log(self.mean_size_segments) - sigma**2 / 2
+        return max(1, int(round(self._rng.lognormvariate(mu, sigma))))
+
+    def _launch(self) -> None:
+        if self._launched >= self.max_flows:
+            return
+        self._launched += 1
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        size = self._draw_size()
+        started = self.sim.now
+
+        sender = TCPSender(
+            self.sim, self.src, flow_id,
+            receiver_node_id=self.dst.node_id, config=self.tcp,
+            transfer_segments=size,
+            on_complete=self._flow_done,
+        )
+        TCPReceiver(self.sim, self.dst, flow_id,
+                    sender_node_id=self.src.node_id, config=self.tcp)
+        self._active[flow_id] = (sender, size, started)
+        sender.start()
+
+        gap = self._rng.expovariate(1.0 / self.mean_interarrival)
+        self.sim.schedule(gap, self._launch)
+
+    def _flow_done(self, sender: TCPSender) -> None:
+        flow_id = sender.flow_id
+        _sender, size, started = self._active.pop(flow_id)
+        self.records.append(FlowRecord(
+            flow_id=flow_id,
+            size_segments=size,
+            started_at=started,
+            completion_time=sender.completion_time(),
+        ))
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Record still-unfinished flows (completion_time None)."""
+        for flow_id, (sender, size, started) in sorted(self._active.items()):
+            self.records.append(FlowRecord(
+                flow_id=flow_id,
+                size_segments=size,
+                started_at=started,
+                completion_time=None,
+            ))
+        self._active.clear()
+
+    @property
+    def launched(self) -> int:
+        return self._launched
+
+    def completed_records(self) -> List[FlowRecord]:
+        return [r for r in self.records if r.completion_time is not None]
+
+    def fct_percentiles(self, percentiles=(50, 90, 99)) -> dict:
+        """FCT percentiles over completed flows, seconds."""
+        fcts = [r.completion_time for r in self.completed_records()]
+        if not fcts:
+            return {p: float("nan") for p in percentiles}
+        return {
+            p: float(np.percentile(fcts, p)) for p in percentiles
+        }
+
+    def unfinished_fraction(self) -> float:
+        """Fraction of launched flows not finished by the end of the run."""
+        if not self.records:
+            return 0.0
+        unfinished = sum(
+            1 for r in self.records if r.completion_time is None
+        )
+        return unfinished / len(self.records)

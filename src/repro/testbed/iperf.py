@@ -1,0 +1,104 @@
+"""An Iperf-like measurement wrapper around a TCP flow.
+
+The paper generates its test-bed workload with Iperf 1.7.0 (reference
+[2]); this module reproduces Iperf's client-side reporting -- periodic
+interval bandwidth lines plus a final summary -- over a
+:class:`~repro.sim.tcp.sender.TCPSender`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, TYPE_CHECKING
+
+from repro.util.validate import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.tcp.sender import TCPSender
+
+__all__ = ["IperfReport", "IperfClient"]
+
+
+@dataclasses.dataclass(frozen=True)
+class IperfReport:
+    """One Iperf interval line.
+
+    Attributes:
+        start / end: the interval bounds, seconds.
+        transferred_bytes: payload delivered during the interval.
+        bandwidth_bps: the interval's average goodput.
+    """
+
+    start: float
+    end: float
+    transferred_bytes: float
+    bandwidth_bps: float
+
+    def format_line(self) -> str:
+        """Render like an ``iperf -i`` interval line."""
+        mbytes = self.transferred_bytes / 1e6
+        mbits = self.bandwidth_bps / 1e6
+        return (
+            f"[{self.start:6.1f}-{self.end:6.1f} sec]  "
+            f"{mbytes:8.2f} MBytes  {mbits:7.2f} Mbits/sec"
+        )
+
+
+class IperfClient:
+    """Periodic goodput reporting for one sender.
+
+    Call :meth:`start` after the network is built; interval reports
+    accumulate in :attr:`reports` and :meth:`summary` gives the
+    whole-run line.
+    """
+
+    def __init__(self, sender: "TCPSender", *, interval: float = 1.0) -> None:
+        self.sender = sender
+        self.interval = check_positive("interval", interval)
+        self.reports: List[IperfReport] = []
+        self._last_time = 0.0
+        self._last_bytes = 0.0
+        self._started = False
+
+    def start(self) -> None:
+        """Begin the flow and the interval reporting."""
+        if self._started:
+            return
+        self._started = True
+        sim = self.sender.sim
+        self._last_time = sim.now
+        self._last_bytes = self.sender.goodput_bytes()
+        self.sender.start()
+        sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        sim = self.sender.sim
+        now = sim.now
+        total = self.sender.goodput_bytes()
+        delta = total - self._last_bytes
+        span = now - self._last_time
+        if span > 0:
+            self.reports.append(IperfReport(
+                start=self._last_time,
+                end=now,
+                transferred_bytes=delta,
+                bandwidth_bps=delta * 8.0 / span,
+            ))
+        self._last_time = now
+        self._last_bytes = total
+        sim.schedule(self.interval, self._tick)
+
+    def summary(self) -> IperfReport:
+        """The whole-run report (from start to the last interval tick)."""
+        if not self.reports:
+            return IperfReport(0.0, 0.0, 0.0, 0.0)
+        start = self.reports[0].start
+        end = self.reports[-1].end
+        total = sum(report.transferred_bytes for report in self.reports)
+        span = end - start
+        return IperfReport(
+            start=start,
+            end=end,
+            transferred_bytes=total,
+            bandwidth_bps=total * 8.0 / span if span > 0 else 0.0,
+        )

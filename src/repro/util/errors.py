@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single ``except``
+clause while still distinguishing configuration mistakes from runtime
+simulation failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A numeric argument is outside its documented domain.
+
+    Also a :class:`ValueError` so that generic numeric code which catches
+    ``ValueError`` keeps working.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A composite configuration (topology, scenario, ...) is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an impossible state.
+
+    This always indicates a bug in the simulator (or memory corruption),
+    never bad user input; user input problems raise
+    :class:`ValidationError` / :class:`ConfigurationError` up front.
+    """

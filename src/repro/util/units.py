@@ -1,0 +1,76 @@
+"""Unit conversion helpers.
+
+Internal convention (used by every module in :mod:`repro`):
+
+========  ==============================
+quantity  unit
+========  ==============================
+time      seconds (float)
+rate      bits per second (float)
+size      bytes (int or float)
+========  ==============================
+
+The paper mixes Mbps link rates, millisecond pulse widths, and byte packet
+sizes; these helpers keep conversions out of the model code.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+#: One megabit per second, in bits per second.
+Mbps = 1_000_000.0
+
+#: One gigabit per second, in bits per second.
+Gbps = 1_000_000_000.0
+
+
+def mbps(value: float) -> float:
+    """Return *value* megabits-per-second expressed in bits per second."""
+    return value * Mbps
+
+
+def gbps(value: float) -> float:
+    """Return *value* gigabits-per-second expressed in bits per second."""
+    return value * Gbps
+
+
+def kbps(value: float) -> float:
+    """Return *value* kilobits-per-second expressed in bits per second."""
+    return value * 1_000.0
+
+
+def ms(value: float) -> float:
+    """Return *value* milliseconds expressed in seconds."""
+    return value / 1_000.0
+
+
+def us(value: float) -> float:
+    """Return *value* microseconds expressed in seconds."""
+    return value / 1_000_000.0
+
+
+def seconds_to_ms(value: float) -> float:
+    """Return *value* seconds expressed in milliseconds."""
+    return value * 1_000.0
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Return the number of bits in *nbytes* bytes."""
+    return nbytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Return the number of bytes in *nbits* bits."""
+    return nbits / BITS_PER_BYTE
+
+
+def transmission_delay(nbytes: float, rate_bps: float) -> float:
+    """Time in seconds to serialize *nbytes* bytes onto a *rate_bps* link.
+
+    >>> transmission_delay(1500, 15_000_000)  # 1500 B over 15 Mb/s
+    0.0008
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return bytes_to_bits(nbytes) / rate_bps

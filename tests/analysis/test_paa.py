@@ -1,0 +1,106 @@
+"""Normalization and Piecewise Aggregate Approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.paa import normalize, paa, paa_series, znormalize
+from repro.util.errors import ValidationError
+
+finite_series = arrays(
+    np.float64, st.integers(2, 200),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestNormalize:
+    def test_zero_mean(self):
+        out = normalize(np.array([1.0, 2.0, 3.0]))
+        assert out.mean() == pytest.approx(0.0)
+        assert list(out) == [-1.0, 0.0, 1.0]
+
+    @given(series=finite_series)
+    def test_zero_mean_property(self, series):
+        out = normalize(series)
+        assert abs(out.mean()) < 1e-6 * max(1.0, np.abs(series).max())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            normalize(np.array([]))
+
+
+class TestZNormalize:
+    def test_unit_variance(self):
+        out = znormalize(np.array([1.0, 3.0, 5.0, 7.0]))
+        assert out.mean() == pytest.approx(0.0)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_constant_series_all_zeros(self):
+        out = znormalize(np.full(5, 42.0))
+        assert np.all(out == 0.0)
+
+    @given(series=finite_series)
+    def test_scale_invariance(self, series):
+        assume(np.ptp(series) > 1e-3)  # near-constant series are degenerate
+        base = znormalize(series)
+        scaled = znormalize(series * 3.0 + 7.0)
+        assert np.allclose(base, scaled, atol=1e-6)
+
+
+class TestPAA:
+    def test_exact_divisible(self):
+        series = np.array([1.0, 3.0, 2.0, 4.0, 10.0, 20.0])
+        assert list(paa(series, 3)) == [2.0, 3.0, 15.0]
+
+    def test_identity_when_segments_equal_length(self):
+        series = np.array([5.0, 1.0, 9.0])
+        assert list(paa(series, 3)) == [5.0, 1.0, 9.0]
+
+    def test_single_segment_is_mean(self):
+        series = np.arange(10.0)
+        assert paa(series, 1)[0] == pytest.approx(series.mean())
+
+    def test_fractional_boundaries_preserve_mean(self):
+        # 5 samples into 2 segments: weighted boundaries.
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        out = paa(series, 2)
+        # Overall mean is conserved by the fractional weighting.
+        assert out.mean() == pytest.approx(series.mean())
+
+    @given(series=finite_series, n=st.integers(1, 20))
+    def test_mean_preserved_property(self, series, n):
+        n_segments = min(n, series.size)
+        out = paa(series, n_segments)
+        scale = max(1.0, np.abs(series).max())
+        assert out.mean() == pytest.approx(series.mean(), abs=1e-6 * scale)
+
+    def test_out_of_range_segments(self):
+        with pytest.raises(ValidationError):
+            paa(np.arange(4.0), 5)
+        with pytest.raises(ValidationError):
+            paa(np.arange(4.0), 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            paa(np.array([]), 1)
+
+
+class TestPAASeries:
+    def test_fixed_width(self):
+        series = np.arange(10.0)
+        out = paa_series(series, 2)
+        assert list(out) == [0.5, 2.5, 4.5, 6.5, 8.5]
+
+    def test_truncates_remainder(self):
+        series = np.arange(7.0)
+        out = paa_series(series, 3)
+        assert len(out) == 2  # uses the first 6 samples
+
+    def test_width_larger_than_series(self):
+        out = paa_series(np.array([1.0, 2.0]), 10)
+        assert list(out) == [1.5]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            paa_series(np.arange(4.0), 0)

@@ -1,0 +1,76 @@
+"""Terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import scatter_grid, sparkline
+from repro.util.errors import ValidationError
+
+
+class TestSparkline:
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_min_and_max_blocks(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " "
+        assert line[1] == "█"
+
+    def test_long_series_reduced(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 1000)), width=50)
+        assert len(line) <= 51
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=10)
+        blocks = " ▁▂▃▄▅▆▇█"
+        levels = [blocks.index(ch) for ch in line]
+        assert levels == sorted(levels)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+    def test_bad_width(self):
+        with pytest.raises(ValidationError):
+            sparkline([1.0], width=0)
+
+
+class TestScatterGrid:
+    def test_basic_render(self):
+        text = scatter_grid(
+            [0.1, 0.5, 0.9],
+            [[0.2, 0.6, 0.1], [0.1, 0.3, 0.2]],
+            labels=["measured", "analytic"],
+        )
+        assert "o" in text
+        assert "x" in text
+        assert "measured" in text
+        assert "analytic" in text
+
+    def test_grid_dimensions(self):
+        text = scatter_grid([0.0, 1.0], [[0.0, 1.0]], height=5, width=20)
+        grid_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(grid_lines) == 5
+        assert all(len(l.split("|", 1)[1]) == 20 for l in grid_lines)
+
+    def test_extremes_placed_at_corners(self):
+        text = scatter_grid([0.0, 1.0], [[0.0, 1.0]], height=5, width=20)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        assert rows[0][-1] == "o"   # max y at max x: top-right
+        assert rows[-1][0] == "o"   # min y at min x: bottom-left
+
+    def test_fixed_y_range(self):
+        text = scatter_grid([0.0, 1.0], [[0.4, 0.6]], y_min=0.0, y_max=1.0)
+        assert text.splitlines()[0].startswith("   1.000")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            scatter_grid([0.0, 1.0], [[0.5]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            scatter_grid([], [[]])
+        with pytest.raises(ValidationError):
+            scatter_grid([1.0], [])

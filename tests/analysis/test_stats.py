@@ -1,0 +1,57 @@
+"""Fairness index and per-flow damage summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import FlowDamage, jain_fairness_index, per_flow_damage
+from repro.util.errors import ValidationError
+
+
+class TestJainIndex:
+    def test_equal_shares_are_fair(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_monopoly_is_one_over_n(self):
+        assert jain_fairness_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_vacuously_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        base = [1.0, 2.0, 3.0]
+        assert jain_fairness_index(base) == pytest.approx(
+            jain_fairness_index([x * 7 for x in base])
+        )
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=30))
+    def test_bounded(self, allocations):
+        index = jain_fairness_index(allocations)
+        assert 1.0 / len(allocations) - 1e-9 <= index <= 1.0 + 1e-9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            jain_fairness_index([1.0, -0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            jain_fairness_index([])
+
+
+class TestFlowDamage:
+    def test_degradation(self):
+        damage = FlowDamage(rtt=0.1, baseline_bytes=100.0, attacked_bytes=25.0)
+        assert damage.degradation == pytest.approx(0.75)
+
+    def test_zero_baseline(self):
+        damage = FlowDamage(rtt=0.1, baseline_bytes=0.0, attacked_bytes=0.0)
+        assert damage.degradation == 0.0
+
+    def test_pairing(self):
+        records = per_flow_damage([0.1, 0.2], [100.0, 200.0], [50.0, 100.0])
+        assert len(records) == 2
+        assert records[1].rtt == 0.2
+        assert records[1].degradation == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            per_flow_damage([0.1], [1.0, 2.0], [0.5])

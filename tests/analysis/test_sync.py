@@ -1,0 +1,113 @@
+"""Synchronization detection: pinnacles, ACF and FFT period estimates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sync import (
+    analyze_synchronization,
+    autocorrelation_period,
+    count_pinnacles,
+    fft_period,
+)
+from repro.util.errors import ValidationError
+
+
+def pulse_train_series(n_bins=600, period_bins=60, width_bins=1,
+                       amplitude=10.0, noise=0.3, seed=0, offset=5):
+    """A synthetic incoming-traffic series with sharp periodic pulses.
+
+    Pulses start at *offset* so the first one is an interior sample
+    (boundary samples cannot be local maxima).
+    """
+    rng = np.random.default_rng(seed)
+    series = rng.normal(1.0, noise, n_bins)
+    for start in range(offset, n_bins, period_bins):
+        series[start:start + width_bins] += amplitude
+    return series
+
+
+class TestCountPinnacles:
+    def test_counts_periodic_pulses(self):
+        series = pulse_train_series()
+        assert count_pinnacles(series) == 10
+
+    def test_flat_series_has_none(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(0.0, 1.0, 500)
+        # 1-sigma threshold: random noise has local maxima above it, so use
+        # a strict threshold to show the count collapses without structure.
+        assert count_pinnacles(series, threshold_sigma=4.0) == 0
+
+    def test_min_separation_merges_plateau(self):
+        series = np.zeros(50)
+        series[10:13] = 5.0  # one wide pulse
+        assert count_pinnacles(series, min_separation=5) == 1
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            count_pinnacles(np.array([1.0, 2.0]))
+
+    def test_bad_separation_rejected(self):
+        with pytest.raises(ValidationError):
+            count_pinnacles(np.zeros(10), min_separation=0)
+
+
+class TestAutocorrelationPeriod:
+    def test_recovers_pulse_period(self):
+        series = pulse_train_series(period_bins=50)
+        period = autocorrelation_period(series, bin_width=0.1)
+        assert period == pytest.approx(5.0, rel=0.05)
+
+    def test_sine_period(self):
+        t = np.arange(1000) * 0.01
+        series = np.sin(2 * np.pi * t / 2.0)
+        period = autocorrelation_period(series, bin_width=0.01)
+        assert period == pytest.approx(2.0, rel=0.05)
+
+    def test_white_noise_returns_none(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(0, 1, 800)
+        assert autocorrelation_period(series, bin_width=0.1) is None
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            autocorrelation_period(np.array([1.0, 2.0]), 0.1)
+
+
+class TestFFTPeriod:
+    def test_recovers_pulse_period(self):
+        series = pulse_train_series(n_bins=600, period_bins=60)
+        period = fft_period(series, bin_width=0.1)
+        assert period == pytest.approx(6.0, rel=0.05)
+
+    def test_sine_period(self):
+        t = np.arange(1024) * 0.01
+        series = np.sin(2 * np.pi * t / 0.64)
+        assert fft_period(series, 0.01) == pytest.approx(0.64, rel=0.02)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            fft_period(np.array([1.0, 2.0, 3.0]), 0.1)
+
+
+class TestAnalyzeSynchronization:
+    def test_full_report_consistency(self):
+        # 600 bins of 0.1 s = 60 s window, pulses every 6 s -> 10 pinnacles.
+        series = pulse_train_series(n_bins=600, period_bins=60)
+        report = analyze_synchronization(series, bin_width=0.1)
+        assert report.window == pytest.approx(60.0)
+        assert report.pinnacles == 10
+        assert report.pinnacle_period == pytest.approx(6.0)
+        assert report.consistent_with(6.0)
+
+    def test_inconsistent_with_wrong_period(self):
+        series = pulse_train_series(n_bins=600, period_bins=60)
+        report = analyze_synchronization(series, bin_width=0.1)
+        assert not report.consistent_with(2.5)
+
+    def test_no_pinnacles_reports_none(self):
+        series = np.ones(100)
+        report = analyze_synchronization(series, bin_width=0.1)
+        assert report.pinnacles == 0
+        assert report.pinnacle_period is None
+        assert not report.consistent_with(1.0)

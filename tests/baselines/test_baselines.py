@@ -1,0 +1,111 @@
+"""Baseline attacks: flooding, shrew, RoQ."""
+
+import pytest
+
+from repro.baselines.flooding import FloodingAttack
+from repro.baselines.roq import RoQAttack, roq_potency
+from repro.baselines.shrew import ShrewAttack
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+class TestFlooding:
+    def test_train_is_flooding(self):
+        attack = FloodingAttack(rate_bps=mbps(30), duration=10.0)
+        train = attack.train()
+        assert train.is_flooding
+        assert train.total_duration() == 10.0
+
+    def test_gamma_at_least_one_when_saturating(self):
+        attack = FloodingAttack(rate_bps=mbps(30), duration=10.0)
+        assert attack.gamma(mbps(15)) == pytest.approx(2.0)
+
+    def test_total_bytes(self):
+        attack = FloodingAttack(rate_bps=mbps(8), duration=10.0)
+        assert attack.total_bytes() == pytest.approx(10e6)
+
+    def test_never_evades_when_saturating(self):
+        attack = FloodingAttack(rate_bps=mbps(30), duration=10.0)
+        assert not attack.evades_volume_detection(mbps(15))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FloodingAttack(rate_bps=0.0, duration=1.0)
+
+
+class TestShrew:
+    def test_period_is_min_rto_over_harmonic(self):
+        attack = ShrewAttack(min_rto=1.0, rate_bps=mbps(30), extent=ms(100),
+                             harmonic=2)
+        assert attack.period == pytest.approx(0.5)
+
+    def test_train_matches_period(self):
+        attack = ShrewAttack(min_rto=1.0, rate_bps=mbps(30), extent=ms(100))
+        train = attack.train(10)
+        assert train.period == pytest.approx(1.0)
+        assert train.n_pulses == 10
+
+    def test_gamma(self):
+        attack = ShrewAttack(min_rto=1.0, rate_bps=mbps(30), extent=ms(100))
+        assert attack.gamma(mbps(15)) == pytest.approx(0.2)
+
+    def test_extent_must_fit_period(self):
+        with pytest.raises(ValidationError):
+            ShrewAttack(min_rto=0.2, rate_bps=mbps(30), extent=0.3)
+
+    def test_harmonic_validated(self):
+        with pytest.raises(ValidationError):
+            ShrewAttack(min_rto=1.0, rate_bps=mbps(30), extent=ms(100),
+                        harmonic=0)
+
+    def test_shrew_periods_are_shrew_points(self):
+        from repro.core.shrew import is_shrew_point
+
+        for harmonic in (1, 2, 3):
+            attack = ShrewAttack(min_rto=1.0, rate_bps=mbps(30),
+                                 extent=ms(50), harmonic=harmonic)
+            assert is_shrew_point(attack.period, 1.0)
+
+
+class TestRoQ:
+    def test_tuned_for_red_time_constant(self):
+        attack = RoQAttack.tuned_for_red(rate_bps=mbps(30),
+                                         bottleneck_bps=mbps(15),
+                                         w_q=0.002, mean_pkt_bytes=1500.0)
+        packet_time = 1500 * 8 / 15e6
+        time_constant = packet_time / 0.002
+        assert attack.extent == pytest.approx(0.5 * time_constant)
+        assert attack.period == pytest.approx(3.0 * time_constant)
+
+    def test_train_construction(self):
+        attack = RoQAttack(rate_bps=mbps(30), extent=0.2, period=1.2)
+        train = attack.train(5)
+        assert train.n_pulses == 5
+        assert train.space == pytest.approx(1.0)
+
+    def test_gamma(self):
+        attack = RoQAttack(rate_bps=mbps(30), extent=0.2, period=1.2)
+        assert attack.gamma(mbps(15)) == pytest.approx(2 * 0.2 / 1.2)
+
+    def test_cost_bytes(self):
+        attack = RoQAttack(rate_bps=mbps(8), extent=0.5, period=2.0)
+        assert attack.cost_bytes(4) == pytest.approx(4 * 8e6 * 0.5 / 8)
+
+    def test_extent_must_fit_period(self):
+        with pytest.raises(ValidationError):
+            RoQAttack(rate_bps=mbps(30), extent=2.0, period=1.0)
+
+
+class TestPotency:
+    def test_formula(self):
+        assert roq_potency(1000.0, 100.0, omega=1.0) == 10.0
+        assert roq_potency(1000.0, 100.0, omega=2.0) == 0.1
+
+    def test_higher_omega_penalizes_cost(self):
+        assert roq_potency(1e6, 1e4, 2.0) < roq_potency(1e6, 1e4, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            roq_potency(-1.0, 100.0)
+        with pytest.raises(ValidationError):
+            roq_potency(1.0, 0.0)

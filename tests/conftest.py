@@ -1,0 +1,19 @@
+"""Shared fixtures for the repro test suite."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh event engine."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for queue disciplines."""
+    return random.Random(1234)

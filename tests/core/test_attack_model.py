@@ -1,0 +1,156 @@
+"""The pulse-train attack model A(T_extent, R_attack, T_space, N)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.attack import PulseTrain
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+class TestConstruction:
+    def test_uniform(self):
+        train = PulseTrain.uniform(0.05, mbps(100), 1.95, n_pulses=30)
+        assert train.n_pulses == 30
+        assert train.is_uniform
+        assert train.extent == 0.05
+        assert train.space == 1.95
+        assert train.period == 2.0
+
+    def test_single_pulse_has_no_spacing(self):
+        train = PulseTrain.uniform(0.1, mbps(10), 0.5, n_pulses=1)
+        assert train.space == 0.0
+        assert train.period == 0.1
+
+    def test_flooding_is_one_continuous_pulse(self):
+        train = PulseTrain.flooding(mbps(50), 30.0)
+        assert train.is_flooding
+        assert train.n_pulses == 1
+        assert train.total_duration() == 30.0
+
+    def test_zero_spacing_means_flooding(self):
+        train = PulseTrain.uniform(0.1, mbps(10), 0.0, n_pulses=5)
+        assert train.is_flooding
+
+    def test_non_uniform_train(self):
+        train = PulseTrain([0.1, 0.2], [mbps(10), mbps(20)], [0.5])
+        assert not train.is_uniform
+        with pytest.raises(ValidationError):
+            _ = train.extent
+
+    def test_length_mismatches_rejected(self):
+        with pytest.raises(ValidationError):
+            PulseTrain([0.1, 0.2], [mbps(10)], [0.5])
+        with pytest.raises(ValidationError):
+            PulseTrain([0.1, 0.2], [mbps(10), mbps(10)], [0.5, 0.5])
+
+    def test_empty_train_rejected(self):
+        with pytest.raises(ValidationError):
+            PulseTrain([], [], [])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            PulseTrain.uniform(-0.1, mbps(10), 0.5, 2)
+        with pytest.raises(ValidationError):
+            PulseTrain.uniform(0.1, -1.0, 0.5, 2)
+        with pytest.raises(ValidationError):
+            PulseTrain.uniform(0.1, mbps(10), -0.5, 2)
+
+
+class TestDerivedQuantities:
+    def test_duty_cycle(self):
+        train = PulseTrain.uniform(0.5, mbps(10), 1.5, 4)
+        assert train.duty_cycle == pytest.approx(0.25)
+
+    def test_mu_is_space_over_extent(self):
+        train = PulseTrain.uniform(0.1, mbps(10), 0.3, 4)
+        assert train.mu == pytest.approx(3.0)
+
+    def test_mean_rate(self):
+        train = PulseTrain.uniform(0.5, mbps(40), 1.5, 4)
+        assert train.mean_rate_bps() == pytest.approx(mbps(10))
+
+    def test_gamma_eq4(self):
+        # gamma = R_attack T_extent / (R_bottle T_AIMD)
+        train = PulseTrain.uniform(ms(100), mbps(30), ms(300), 4)
+        assert train.gamma(mbps(15)) == pytest.approx(0.5)
+
+    def test_c_attack(self):
+        train = PulseTrain.uniform(ms(100), mbps(30), ms(300), 4)
+        assert train.c_attack(mbps(15)) == pytest.approx(2.0)
+
+    def test_gamma_equals_c_attack_over_one_plus_mu(self):
+        # Eq. (7)
+        train = PulseTrain.uniform(ms(100), mbps(30), ms(250), 4)
+        gamma = train.gamma(mbps(15))
+        assert gamma == pytest.approx(
+            train.c_attack(mbps(15)) / (1.0 + train.mu)
+        )
+
+    def test_total_attack_bits(self):
+        train = PulseTrain.uniform(0.1, mbps(10), 0.9, 5)
+        assert train.total_attack_bits() == pytest.approx(5 * 1e6)
+
+
+class TestTimeline:
+    def test_pulse_intervals(self):
+        train = PulseTrain.uniform(0.1, mbps(10), 0.4, 3)
+        intervals = train.pulse_intervals(start=1.0)
+        assert intervals == [
+            (1.0, pytest.approx(1.1)),
+            (pytest.approx(1.5), pytest.approx(1.6)),
+            (pytest.approx(2.0), pytest.approx(2.1)),
+        ]
+
+    def test_total_duration(self):
+        train = PulseTrain.uniform(0.1, mbps(10), 0.4, 3)
+        assert train.total_duration() == pytest.approx(1.1)
+
+    def test_non_uniform_intervals(self):
+        train = PulseTrain([0.1, 0.2], [mbps(1), mbps(2)], [0.3])
+        assert train.pulse_intervals() == [
+            (0.0, pytest.approx(0.1)),
+            (pytest.approx(0.4), pytest.approx(0.6)),
+        ]
+
+
+class TestFromGamma:
+    def test_roundtrip(self):
+        train = PulseTrain.from_gamma(
+            gamma=0.4, rate_bps=mbps(30), extent=ms(100),
+            bottleneck_bps=mbps(15), n_pulses=10,
+        )
+        assert train.gamma(mbps(15)) == pytest.approx(0.4)
+
+    def test_unreachable_gamma_rejected(self):
+        # gamma cannot exceed C_attack = 0.5 here.
+        with pytest.raises(ValidationError, match="C_attack"):
+            PulseTrain.from_gamma(
+                gamma=0.6, rate_bps=mbps(7.5), extent=ms(100),
+                bottleneck_bps=mbps(15), n_pulses=10,
+            )
+
+    def test_gamma_equal_to_c_attack_is_flooding(self):
+        train = PulseTrain.from_gamma(
+            gamma=0.5, rate_bps=mbps(7.5), extent=ms(100),
+            bottleneck_bps=mbps(15), n_pulses=3,
+        )
+        assert train.is_flooding
+
+    @given(
+        gamma=st.floats(0.05, 0.95),
+        rate=st.floats(16e6, 100e6),
+        extent=st.floats(0.02, 0.3),
+    )
+    def test_gamma_roundtrip_property(self, gamma, rate, extent):
+        train = PulseTrain.from_gamma(
+            gamma=gamma, rate_bps=rate, extent=extent,
+            bottleneck_bps=15e6, n_pulses=5,
+        )
+        assert train.gamma(15e6) == pytest.approx(gamma, rel=1e-9)
+
+    def test_from_mu(self):
+        train = PulseTrain.from_mu(mu=3.0, rate_bps=mbps(10),
+                                   extent=0.1, n_pulses=4)
+        assert train.space == pytest.approx(0.3)
+        assert train.mu == pytest.approx(3.0)

@@ -1,0 +1,62 @@
+"""Normal/under/over-gain classification (Section 4.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import GainRegime, classify_gain
+from repro.util.errors import ValidationError
+
+
+class TestRegimes:
+    def test_normal_gain_close_agreement(self):
+        analytical = [0.1, 0.3, 0.4, 0.3]
+        measured = [0.12, 0.28, 0.43, 0.31]
+        result = classify_gain(measured, analytical)
+        assert result.regime is GainRegime.NORMAL
+
+    def test_under_gain_analysis_overestimates(self):
+        analytical = [0.3, 0.5, 0.6]
+        measured = [0.1, 0.2, 0.25]
+        result = classify_gain(measured, analytical)
+        assert result.regime is GainRegime.UNDER
+        assert result.mean_discrepancy < 0
+
+    def test_over_gain_analysis_underestimates(self):
+        analytical = [0.1, 0.2, 0.25]
+        measured = [0.4, 0.5, 0.6]
+        result = classify_gain(measured, analytical)
+        assert result.regime is GainRegime.OVER
+        assert result.mean_discrepancy > 0
+
+    def test_tolerance_widens_normal_band(self):
+        analytical = [0.2, 0.2]
+        measured = [0.35, 0.35]
+        assert classify_gain(measured, analytical).regime is GainRegime.OVER
+        wide = classify_gain(measured, analytical, tolerance=0.2)
+        assert wide.regime is GainRegime.NORMAL
+
+    def test_offsetting_errors_report_abs_discrepancy(self):
+        analytical = [0.2, 0.4]
+        measured = [0.4, 0.2]  # +0.2 and -0.2 cancel in the mean
+        result = classify_gain(measured, analytical)
+        assert result.regime is GainRegime.NORMAL
+        assert result.mean_discrepancy == pytest.approx(0.0)
+        assert result.mean_abs_discrepancy == pytest.approx(0.2)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            classify_gain([0.1, 0.2], [0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_gain([], [])
+
+    def test_nonpositive_tolerance(self):
+        with pytest.raises(ValidationError):
+            classify_gain([0.1], [0.1], tolerance=0.0)
+
+    def test_n_points_recorded(self):
+        result = classify_gain([0.1, 0.2, 0.3], [0.1, 0.2, 0.3])
+        assert result.n_points == 3

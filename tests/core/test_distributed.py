@@ -1,0 +1,95 @@
+"""Distributed (multi-source) attack splitting."""
+
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.core.distributed import split_interleaved, split_synchronized
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+@pytest.fixture
+def train():
+    return PulseTrain.uniform(ms(100), mbps(30), ms(300), n_pulses=20)
+
+
+class TestSynchronized:
+    def test_rate_divided(self, train):
+        attack = split_synchronized(train, 5)
+        assert attack.n_sources == 5
+        for source_train in attack.trains:
+            assert source_train.rate_bps == pytest.approx(mbps(6))
+            assert source_train.period == pytest.approx(train.period)
+
+    def test_offsets_zero(self, train):
+        attack = split_synchronized(train, 3)
+        assert attack.offsets == [0.0, 0.0, 0.0]
+
+    def test_total_bits_preserved(self, train):
+        attack = split_synchronized(train, 4)
+        assert attack.aggregate_bits() == pytest.approx(
+            train.total_attack_bits()
+        )
+
+    def test_per_source_gamma_divided(self, train):
+        attack = split_synchronized(train, 5)
+        assert attack.per_source_gamma(mbps(15)) == pytest.approx(
+            train.gamma(mbps(15)) / 5
+        )
+
+    def test_single_source_is_identity(self, train):
+        attack = split_synchronized(train, 1)
+        assert attack.trains[0].rate_bps == train.rate_bps
+
+
+class TestInterleaved:
+    def test_period_stretched(self, train):
+        attack = split_interleaved(train, 4)
+        for source_train in attack.trains:
+            assert source_train.period == pytest.approx(4 * train.period)
+            assert source_train.rate_bps == train.rate_bps
+            assert source_train.n_pulses == 5
+
+    def test_offsets_staggered_by_period(self, train):
+        attack = split_interleaved(train, 4)
+        assert attack.offsets == pytest.approx(
+            [0.0, train.period, 2 * train.period, 3 * train.period]
+        )
+
+    def test_total_bits_preserved(self, train):
+        attack = split_interleaved(train, 5)
+        assert attack.aggregate_bits() == pytest.approx(
+            train.total_attack_bits()
+        )
+
+    def test_aggregate_schedule_is_original(self, train):
+        """The union of all sources' pulse starts == the original's."""
+        attack = split_interleaved(train, 5)
+        combined = sorted(
+            begin + offset
+            for source_train, offset in zip(attack.trains, attack.offsets)
+            for begin, _end in source_train.pulse_intervals()
+        )
+        original = [begin for begin, _end in train.pulse_intervals()]
+        assert combined == pytest.approx(original)
+
+    def test_indivisible_pulse_count_rejected(self, train):
+        with pytest.raises(ValidationError, match="divisible"):
+            split_interleaved(train, 3)  # 20 % 3 != 0
+
+    def test_per_source_gamma_divided(self, train):
+        attack = split_interleaved(train, 5)
+        assert attack.per_source_gamma(mbps(15)) == pytest.approx(
+            train.gamma(mbps(15)) / 5
+        )
+
+
+class TestValidation:
+    def test_non_uniform_rejected(self):
+        ragged = PulseTrain([0.1, 0.2], [mbps(1), mbps(2)], [0.3])
+        with pytest.raises(ValidationError):
+            split_synchronized(ragged, 2)
+
+    def test_bad_source_count(self, train):
+        with pytest.raises(ValidationError):
+            split_synchronized(train, 0)

@@ -1,0 +1,109 @@
+"""Attack gain and risk preferences (Section 3, Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gain import (
+    RiskPreference,
+    attack_gain,
+    attack_gain_curve,
+    classify_kappa,
+    risk_curve,
+    risk_weight,
+)
+from repro.util.errors import ValidationError
+
+
+class TestRiskWeight:
+    def test_formula(self):
+        assert risk_weight(0.5, 2.0) == pytest.approx(0.25)
+
+    def test_monotone_decreasing_in_gamma(self):
+        weights = [risk_weight(g, 2.0) for g in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_risk_averse_below_neutral(self):
+        # Fig. 4: the kappa > 1 curve lies below the linear one.
+        for gamma in (0.2, 0.5, 0.8):
+            assert risk_weight(gamma, 3.0) < risk_weight(gamma, 1.0)
+
+    def test_risk_loving_above_neutral(self):
+        for gamma in (0.2, 0.5, 0.8):
+            assert risk_weight(gamma, 0.5) > risk_weight(gamma, 1.0)
+
+    def test_limits(self):
+        # kappa -> 0: indifferent to risk (weight -> 1).
+        assert risk_weight(0.9, 1e-9) == pytest.approx(1.0)
+        # kappa -> inf: paralyzed by risk (weight -> 0).
+        assert risk_weight(0.5, 200.0) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestClassifyKappa:
+    def test_classes(self):
+        assert classify_kappa(0.5) is RiskPreference.RISK_LOVING
+        assert classify_kappa(1.0) is RiskPreference.RISK_NEUTRAL
+        assert classify_kappa(2.0) is RiskPreference.RISK_AVERSE
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_kappa(0.0)
+
+
+class TestAttackGain:
+    def test_eq5(self):
+        # (1 - 0.2/0.5) * (1 - 0.5)^1 = 0.6 * 0.5
+        assert attack_gain(0.5, 0.2, 1.0) == pytest.approx(0.3)
+
+    def test_negative_when_attack_too_weak(self):
+        assert attack_gain(0.1, 0.2, 1.0) < 0
+
+    def test_zero_at_gamma_equal_cpsi(self):
+        assert attack_gain(0.2, 0.2, 1.0) == pytest.approx(0.0)
+
+    def test_vanishes_as_gamma_approaches_one(self):
+        assert attack_gain(0.999999, 0.2, 1.0) == pytest.approx(0.0, abs=1e-5)
+
+    @given(gamma=st.floats(0.01, 0.99), c=st.floats(0.01, 0.99),
+           kappa=st.floats(0.1, 10.0))
+    def test_bounded_above_by_risk_weight(self, gamma, c, kappa):
+        assert attack_gain(gamma, c, kappa) <= risk_weight(gamma, kappa) + 1e-12
+
+    def test_curve_matches_scalar(self):
+        gammas = np.linspace(0.1, 0.9, 9)
+        curve = attack_gain_curve(gammas, 0.2, 2.0)
+        for gamma, value in zip(gammas, curve):
+            assert value == pytest.approx(attack_gain(float(gamma), 0.2, 2.0))
+
+    def test_curve_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            attack_gain_curve(np.array([0.0, 0.5]), 0.2, 1.0)
+        with pytest.raises(ValueError):
+            attack_gain_curve(np.array([0.5, 1.0]), 0.2, 1.0)
+
+
+class TestRiskCurve:
+    def test_endpoints(self):
+        values = risk_curve(np.array([0.0, 1.0]), 2.0)
+        assert values[0] == 1.0
+        assert values[1] == 0.0
+
+    def test_convexity_of_risk_averse(self):
+        gammas = np.linspace(0, 1, 21)
+        averse = risk_curve(gammas, 3.0)
+        # convex: midpoint below chord
+        assert averse[10] < (averse[0] + averse[20]) / 2
+
+    def test_concavity_of_risk_loving(self):
+        gammas = np.linspace(0, 1, 21)
+        loving = risk_curve(gammas, 0.5)
+        assert loving[10] > (loving[0] + loving[20]) / 2
+
+    def test_neutral_is_linear(self):
+        gammas = np.linspace(0, 1, 11)
+        neutral = risk_curve(gammas, 1.0)
+        assert np.allclose(neutral, 1.0 - gammas)
+
+    def test_domain_enforced(self):
+        with pytest.raises(ValueError):
+            risk_curve(np.array([-0.1]), 1.0)

@@ -1,0 +1,181 @@
+"""The Section-3 optimization: Propositions 3-4 and Corollaries 1-4."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attack import PulseTrain
+from repro.core.gain import RiskPreference, attack_gain
+from repro.core.optimizer import (
+    OptimalAttack,
+    gain_derivative_sign,
+    optimal_attack,
+    optimal_gamma,
+    optimal_gamma_numerical,
+    optimal_mu,
+    optimal_period,
+    optimal_period_ratio,
+)
+from repro.core.throughput import VictimPopulation, c_psi
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+class TestProposition3:
+    @given(c=st.floats(0.02, 0.95), kappa=st.floats(0.05, 40.0))
+    @settings(max_examples=150)
+    def test_closed_form_matches_numerical(self, c, kappa):
+        closed = optimal_gamma(c, kappa)
+        numeric = optimal_gamma_numerical(c, kappa)
+        assert closed == pytest.approx(numeric, abs=2e-4)
+
+    @given(c=st.floats(0.01, 0.99), kappa=st.floats(0.01, 100.0))
+    @settings(max_examples=150)
+    def test_feasibility_cpsi_lt_gamma_lt_one(self, c, kappa):
+        gamma_star = optimal_gamma(c, kappa)
+        assert c < gamma_star < 1.0
+
+    @given(c=st.floats(0.02, 0.9), kappa=st.floats(0.1, 20.0))
+    @settings(max_examples=100)
+    def test_is_a_maximum(self, c, kappa):
+        gamma_star = optimal_gamma(c, kappa)
+        best = attack_gain(gamma_star, c, kappa)
+        for offset in (-0.02, 0.02):
+            probe = gamma_star + offset
+            if c < probe < 1:
+                assert attack_gain(probe, c, kappa) <= best + 1e-12
+
+    def test_gamma_star_increases_with_cpsi(self):
+        values = [optimal_gamma(c, 1.0) for c in (0.1, 0.3, 0.5, 0.7)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_gamma_star_decreases_with_kappa(self):
+        values = [optimal_gamma(0.3, k) for k in (0.2, 1.0, 5.0, 25.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_cpsi_rejected(self):
+        with pytest.raises(ValidationError):
+            optimal_gamma(1.2, 1.0)
+        with pytest.raises(ValidationError):
+            optimal_gamma(0.0, 1.0)
+
+
+class TestCorollaries:
+    def test_corollary1_risk_averse_limit(self):
+        # kappa -> inf: gamma* -> C_psi
+        assert optimal_gamma(0.3, 1e8) == pytest.approx(0.3, abs=1e-3)
+
+    def test_corollary2_risk_loving_limit(self):
+        # kappa -> 0: gamma* -> 1 (the flooding attacker)
+        assert optimal_gamma(0.3, 1e-8) == pytest.approx(1.0, abs=1e-3)
+
+    def test_corollary3_risk_neutral(self):
+        for c in (0.04, 0.25, 0.81):
+            assert optimal_gamma(c, 1.0) == pytest.approx(math.sqrt(c))
+
+    def test_kappa_near_one_continuous(self):
+        """The dedicated kappa==1 branch agrees with the general formula."""
+        for c in (0.1, 0.5, 0.9):
+            below = optimal_gamma(c, 1.0 - 1e-9)
+            exact = optimal_gamma(c, 1.0)
+            above = optimal_gamma(c, 1.0 + 1e-9)
+            assert below == pytest.approx(exact, rel=1e-5)
+            assert above == pytest.approx(exact, rel=1e-5)
+
+
+class TestDerivativeSign:
+    """The Eq. (15) sign structure used to prove uniqueness."""
+
+    @given(c=st.floats(0.05, 0.8), kappa=st.floats(0.2, 10.0))
+    @settings(max_examples=100)
+    def test_positive_below_star_negative_above(self, c, kappa):
+        gamma_star = optimal_gamma(c, kappa)
+        below = (c + gamma_star) / 2
+        above = (gamma_star + 1.0) / 2
+        if below < gamma_star - 1e-6:
+            assert gain_derivative_sign(below, c, kappa) == 1
+        if above > gamma_star + 1e-6 and above < 1:
+            assert gain_derivative_sign(above, c, kappa) == -1
+
+    def test_zero_at_star(self):
+        c, kappa = 0.3, 2.0
+        gamma_star = optimal_gamma(c, kappa)
+        assert gain_derivative_sign(gamma_star, c, kappa) in (0, 1, -1)
+        # Numerically the polynomial should be ~0 there:
+        value = -kappa * gamma_star**2 + c * (kappa - 1) * gamma_star + c
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProposition4:
+    def test_mu_consistent_with_eq7(self):
+        # gamma* must equal C_attack / (1 + mu*).
+        c, kappa, c_attack = 0.25, 2.0, 2.0
+        mu = optimal_mu(c, kappa, c_attack)
+        assert optimal_gamma(c, kappa) == pytest.approx(c_attack / (1 + mu))
+
+    def test_period_ratio_is_one_plus_mu(self):
+        c, kappa, c_attack = 0.25, 2.0, 2.0
+        assert optimal_period_ratio(c, kappa, c_attack) == pytest.approx(
+            1.0 + optimal_mu(c, kappa, c_attack)
+        )
+
+    def test_corollary4_risk_neutral(self):
+        # 1 + mu* = C_attack / sqrt(C_psi)
+        c, c_attack = 0.25, 2.0
+        assert optimal_period_ratio(c, 1.0, c_attack) == pytest.approx(
+            c_attack / math.sqrt(c)
+        )
+
+    def test_optimal_period_scales_with_extent(self):
+        c, kappa, c_attack = 0.25, 1.0, 2.0
+        p1 = optimal_period(c, kappa, c_attack, extent=0.05)
+        p2 = optimal_period(c, kappa, c_attack, extent=0.10)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_unreachable_gamma_raises(self):
+        # gamma* = 0.5 but C_attack below it -> no nonnegative spacing.
+        with pytest.raises(ValidationError, match="pulse rate"):
+            optimal_mu(0.25, 1.0, c_attack=0.4)
+
+
+class TestOptimalAttackPlanner:
+    @pytest.fixture
+    def victims(self):
+        return VictimPopulation(rtts=np.linspace(0.02, 0.46, 15),
+                                delayed_ack=2)
+
+    def test_end_to_end_consistency(self, victims):
+        plan = optimal_attack(victims, rate_bps=mbps(30), extent=ms(100),
+                              bottleneck_bps=mbps(15), kappa=1.0)
+        assert isinstance(plan, OptimalAttack)
+        expected_c = c_psi(victims, extent=ms(100), rate_bps=mbps(30),
+                           bottleneck_bps=mbps(15))
+        assert plan.c_psi == pytest.approx(expected_c)
+        assert plan.gamma_star == pytest.approx(math.sqrt(expected_c))
+        assert plan.risk is RiskPreference.RISK_NEUTRAL
+        assert plan.train.gamma(mbps(15)) == pytest.approx(plan.gamma_star)
+        assert plan.period_star == pytest.approx(plan.train.period, rel=1e-6)
+        assert plan.gain_star == pytest.approx(
+            attack_gain(plan.gamma_star, plan.c_psi, 1.0)
+        )
+
+    def test_degradation_star(self, victims):
+        plan = optimal_attack(victims, rate_bps=mbps(30), extent=ms(100),
+                              bottleneck_bps=mbps(15), kappa=2.0)
+        assert plan.degradation_star == pytest.approx(
+            1 - plan.c_psi / plan.gamma_star
+        )
+
+    def test_infeasible_scenario_rejected(self):
+        # Overwhelming victim population: C_psi >= 1.
+        heavy = VictimPopulation(rtts=[0.02] * 50, delayed_ack=1)
+        with pytest.raises(ValidationError, match="C_psi"):
+            optimal_attack(heavy, rate_bps=mbps(40), extent=ms(100),
+                           bottleneck_bps=mbps(15))
+
+    def test_n_pulses_passed_through(self, victims):
+        plan = optimal_attack(victims, rate_bps=mbps(30), extent=ms(100),
+                              bottleneck_bps=mbps(15), n_pulses=17)
+        assert plan.train.n_pulses == 17

@@ -1,0 +1,66 @@
+"""Shrew-point prediction (Section 4.1.3, Fig. 10)."""
+
+import pytest
+
+from repro.core.shrew import (
+    flag_shrew_points,
+    is_shrew_point,
+    nearest_shrew_harmonic,
+    shrew_periods,
+)
+from repro.util.errors import ValidationError
+
+
+class TestShrewPeriods:
+    def test_ns2_min_rto_harmonics(self):
+        """The Fig.-10 points: 1000, 500, 1000/3 ms for minRTO = 1 s."""
+        periods = shrew_periods(1.0, max_harmonic=3)
+        assert periods == pytest.approx([1.0, 0.5, 1.0 / 3.0])
+
+    def test_linux_min_rto(self):
+        periods = shrew_periods(0.2, max_harmonic=2)
+        assert periods == pytest.approx([0.2, 0.1])
+
+    def test_invalid_harmonic(self):
+        with pytest.raises(ValidationError):
+            shrew_periods(1.0, max_harmonic=0)
+
+
+class TestIsShrewPoint:
+    def test_exact_harmonics_match(self):
+        for n in (1, 2, 3):
+            assert is_shrew_point(1.0 / n, 1.0)
+
+    def test_tolerance_boundary(self):
+        assert is_shrew_point(1.05, 1.0, rtol=0.08)
+        assert not is_shrew_point(1.2, 1.0, rtol=0.08)
+
+    def test_off_harmonic_rejected(self):
+        assert not is_shrew_point(0.7, 1.0)
+        assert not is_shrew_point(1.6, 1.0)
+
+    def test_harmonic_limit_respected(self):
+        # 0.2 s is the 5th harmonic of 1 s.
+        assert is_shrew_point(0.2, 1.0, max_harmonic=5)
+        assert not is_shrew_point(0.2, 1.0, max_harmonic=3)
+
+
+class TestNearestHarmonic:
+    def test_values(self):
+        assert nearest_shrew_harmonic(1.02, 1.0) == 1
+        assert nearest_shrew_harmonic(0.48, 1.0) == 2
+        assert nearest_shrew_harmonic(0.34, 1.0) == 3
+
+
+class TestFlagging:
+    def test_flags_carry_index_and_harmonic(self):
+        periods = [2.0, 1.0, 0.77, 0.5]
+        flagged = flag_shrew_points(periods, 1.0)
+        assert [(p.index, p.harmonic) for p in flagged] == [(1, 1), (3, 2)]
+
+    def test_no_false_positives_on_clean_sweep(self):
+        periods = [2.2, 1.7, 1.35, 0.8, 0.6]
+        assert flag_shrew_points(periods, 1.0) == []
+
+    def test_empty_input(self):
+        assert flag_shrew_points([], 1.0) == []

@@ -1,0 +1,233 @@
+"""Throughput analysis: Eq. 1, Propositions 1-2, Lemmas 1-2, Eq. 18."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.throughput import (
+    VictimPopulation,
+    aggregate_attack_throughput,
+    c_psi,
+    c_victim,
+    converged_window,
+    degradation,
+    normal_throughput,
+    per_flow_attack_throughput_exact,
+    pulses_to_converge,
+    window_after_pulses,
+)
+from repro.sim.tcp.params import AIMDParams
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+STD = AIMDParams.standard_tcp()
+
+
+class TestConvergedWindow:
+    def test_eq1_value(self):
+        # W_c = a/(1-b) * T/(d*RTT) = 2 * 2.0 / (1 * 0.2) = 20
+        assert converged_window(STD, 1, 2.0, 0.2) == pytest.approx(20.0)
+
+    def test_delayed_ack_halves(self):
+        w1 = converged_window(STD, 1, 2.0, 0.2)
+        w2 = converged_window(STD, 2, 2.0, 0.2)
+        assert w2 == pytest.approx(w1 / 2)
+
+    def test_fixed_point_property(self):
+        """W_c satisfies W = b W + (a/d) T/RTT exactly."""
+        for aimd in (STD, AIMDParams(0.31, 0.875), AIMDParams(2.0, 0.3)):
+            for d in (1, 2):
+                w = converged_window(aimd, d, 1.5, 0.25)
+                restored = aimd.decrease * w + (aimd.increase / d) * 1.5 / 0.25
+                assert restored == pytest.approx(w)
+
+    @given(period=st.floats(0.05, 5.0), rtt=st.floats(0.01, 1.0),
+           b=st.floats(0.1, 0.9))
+    def test_scales_linearly_with_period(self, period, rtt, b):
+        aimd = AIMDParams(1.0, b)
+        one = converged_window(aimd, 1, period, rtt)
+        two = converged_window(aimd, 1, 2 * period, rtt)
+        assert two == pytest.approx(2 * one)
+
+
+class TestWindowTrajectory:
+    def test_n_zero_is_initial(self):
+        assert window_after_pulses(STD, 1, 2.0, 0.2, 64.0, 0) == 64.0
+
+    def test_one_step_recurrence(self):
+        w1 = window_after_pulses(STD, 1, 2.0, 0.2, 64.0, 1)
+        assert w1 == pytest.approx(0.5 * 64.0 + 1.0 * 2.0 / 0.2)
+
+    def test_converges_to_wc(self):
+        w_inf = window_after_pulses(STD, 1, 2.0, 0.2, 64.0, 50)
+        assert w_inf == pytest.approx(converged_window(STD, 1, 2.0, 0.2))
+
+    def test_monotone_from_above(self):
+        values = [window_after_pulses(STD, 1, 2.0, 0.2, 64.0, n)
+                  for n in range(8)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_from_below(self):
+        values = [window_after_pulses(STD, 1, 2.0, 0.2, 1.0, n)
+                  for n in range(8)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValidationError):
+            window_after_pulses(STD, 1, 2.0, 0.2, 64.0, -1)
+
+
+class TestPulsesToConverge:
+    def test_paper_claim_fewer_than_ten(self):
+        """The paper: standard TCP converges within ~10 pulses (Lemma 2 proof).
+
+        At 10% tolerance the bound holds across the paper's whole RTT
+        range, since b = 0.5 halves the gap to W_c every pulse.
+        """
+        for rtt in np.linspace(0.02, 0.46, 10):
+            for period in (0.3, 1.0, 2.0):
+                n = pulses_to_converge(STD, 1, period, rtt, w_initial=100.0,
+                                       rtol=0.1)
+                assert n <= 10
+
+    def test_already_converged_needs_one(self):
+        w_c = converged_window(STD, 1, 2.0, 0.2)
+        assert pulses_to_converge(STD, 1, 2.0, 0.2, w_c) == 1
+
+    def test_gentle_decrease_converges_slower(self):
+        fast = pulses_to_converge(STD, 1, 1.0, 0.2, 200.0)
+        slow = pulses_to_converge(AIMDParams(1.0, 0.9), 1, 1.0, 0.2, 200.0)
+        assert slow > fast
+
+    def test_result_actually_converges(self):
+        n = pulses_to_converge(STD, 1, 1.0, 0.1, 500.0, rtol=0.05)
+        w_c = converged_window(STD, 1, 1.0, 0.1)
+        w_n = window_after_pulses(STD, 1, 1.0, 0.1, 500.0, n)
+        assert abs(w_n - w_c) <= 0.05 * w_c * (1 + 1e-9)
+
+
+class TestProposition1:
+    def test_steady_state_only_matches_lemma2_per_flow(self):
+        """With W_1 = W_c there is no transient; Prop. 1 == Lemma 2 term."""
+        period, rtt, n_pulses = 1.0, 0.2, 50
+        w_c = converged_window(STD, 1, period, rtt)
+        exact = per_flow_attack_throughput_exact(
+            aimd=STD, delayed_ack=1, period=period, rtt=rtt,
+            n_pulses=n_pulses, w_initial=w_c, s_packet=1500.0,
+        )
+        rounds = period / rtt
+        steady = 1.5 / (2 * 0.5) * rounds * rounds  # a(1+b)/(2d(1-b)) (T/RTT)^2
+        expected = steady * (n_pulses - 1) * 1500.0
+        assert exact == pytest.approx(expected, rel=0.01)
+
+    def test_transient_adds_throughput_from_large_window(self):
+        period, rtt = 1.0, 0.2
+        w_c = converged_window(STD, 1, period, rtt)
+        from_converged = per_flow_attack_throughput_exact(
+            aimd=STD, delayed_ack=1, period=period, rtt=rtt,
+            n_pulses=40, w_initial=w_c,
+        )
+        from_large = per_flow_attack_throughput_exact(
+            aimd=STD, delayed_ack=1, period=period, rtt=rtt,
+            n_pulses=40, w_initial=10 * w_c,
+        )
+        assert from_large > from_converged
+
+    def test_approximation_error_vanishes_for_long_attacks(self):
+        """Lemma 2's W_n ~= W_c approximation: relative error -> 0 as N grows."""
+        period, rtt = 1.0, 0.2
+        victims = VictimPopulation(rtts=[rtt])
+        errors = []
+        for n_pulses in (10, 100, 1000):
+            exact = per_flow_attack_throughput_exact(
+                aimd=STD, delayed_ack=1, period=period, rtt=rtt,
+                n_pulses=n_pulses, w_initial=100.0,
+            )
+            approx = aggregate_attack_throughput(victims, period, n_pulses)
+            errors.append(abs(exact - approx) / exact)
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 0.02
+
+
+class TestLemmas:
+    def test_normal_throughput_eq8(self):
+        # 15 Mb/s * 9 periods * 2 s / 8 = 33.75 MB
+        value = normal_throughput(mbps(15), 2.0, 10)
+        assert value == pytest.approx(15e6 * 9 * 2.0 / 8)
+
+    def test_normal_throughput_needs_two_pulses(self):
+        with pytest.raises(ValidationError):
+            normal_throughput(mbps(15), 2.0, 1)
+
+    def test_aggregate_attack_scales_with_period_squared(self):
+        victims = VictimPopulation(rtts=[0.1, 0.2])
+        one = aggregate_attack_throughput(victims, 0.5, 20)
+        two = aggregate_attack_throughput(victims, 1.0, 20)
+        assert two == pytest.approx(4 * one)
+
+    def test_aggregate_attack_sums_over_flows(self):
+        lone = VictimPopulation(rtts=[0.1])
+        pair = VictimPopulation(rtts=[0.1, 0.1])
+        assert aggregate_attack_throughput(pair, 1.0, 10) == pytest.approx(
+            2 * aggregate_attack_throughput(lone, 1.0, 10)
+        )
+
+
+class TestProposition2:
+    def test_c_psi_is_cvictim_extent_cattack(self):
+        """Eq. (11) == Eq. (18) decomposition."""
+        victims = VictimPopulation(rtts=np.linspace(0.02, 0.46, 15),
+                                   delayed_ack=2)
+        extent, rate, bottleneck = ms(100), mbps(25), mbps(15)
+        lhs = c_psi(victims, extent=extent, rate_bps=rate,
+                    bottleneck_bps=bottleneck)
+        rhs = c_victim(victims, bottleneck) * extent * (rate / bottleneck)
+        assert lhs == pytest.approx(rhs)
+
+    def test_degradation_formula(self):
+        assert degradation(0.5, 0.25) == pytest.approx(0.5)
+
+    def test_degradation_negative_below_cpsi(self):
+        assert degradation(0.1, 0.25) < 0
+
+    def test_gamma_consistency_with_throughput_ratio(self):
+        """1 - C_psi/gamma must equal 1 - Psi_attack/Psi_normal."""
+        victims = VictimPopulation(rtts=[0.1, 0.2, 0.3], delayed_ack=2)
+        extent, rate, bottleneck = ms(100), mbps(30), mbps(15)
+        gamma = 0.4
+        period = rate * extent / (gamma * bottleneck)
+        n_pulses = 100
+        psi_attack = aggregate_attack_throughput(victims, period, n_pulses)
+        psi_normal = normal_throughput(bottleneck, period, n_pulses)
+        direct = 1.0 - psi_attack / psi_normal
+        via_cpsi = degradation(
+            gamma,
+            c_psi(victims, extent=extent, rate_bps=rate,
+                  bottleneck_bps=bottleneck),
+        )
+        assert direct == pytest.approx(via_cpsi, rel=1e-9)
+
+    def test_delayed_ack_halves_cpsi(self):
+        kwargs = dict(extent=ms(100), rate_bps=mbps(25),
+                      bottleneck_bps=mbps(15))
+        d1 = c_psi(VictimPopulation(rtts=[0.1], delayed_ack=1), **kwargs)
+        d2 = c_psi(VictimPopulation(rtts=[0.1], delayed_ack=2), **kwargs)
+        assert d2 == pytest.approx(d1 / 2)
+
+
+class TestVictimPopulation:
+    def test_inverse_rtt_square_sum(self):
+        victims = VictimPopulation(rtts=[0.1, 0.2])
+        assert victims.inverse_rtt_square_sum() == pytest.approx(100 + 25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            VictimPopulation(rtts=[])
+
+    def test_nonpositive_rtt_rejected(self):
+        with pytest.raises(ValidationError):
+            VictimPopulation(rtts=[0.1, 0.0])
+
+    def test_bad_delayed_ack_rejected(self):
+        with pytest.raises(ValidationError):
+            VictimPopulation(rtts=[0.1], delayed_ack=0)

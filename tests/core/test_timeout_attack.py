@@ -1,0 +1,73 @@
+"""The timeout-based attack planner."""
+
+import pytest
+
+from repro.core.shrew import is_shrew_point
+from repro.core.timeout_attack import plan_timeout_attack
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+def make_plan(**overrides):
+    params = dict(
+        min_rto=1.0,
+        bottleneck_bps=mbps(15),
+        buffer_bytes=180 * 1500.0,
+        rtt_max=0.46,
+    )
+    params.update(overrides)
+    return plan_timeout_attack(**params)
+
+
+class TestPlanning:
+    def test_period_is_harmonic(self):
+        plan = make_plan()
+        assert plan.period == 1.0
+        assert is_shrew_point(plan.period, 1.0)
+
+    def test_higher_harmonic_shortens_period(self):
+        plan = make_plan(harmonic=2, rtt_max=0.3)
+        assert plan.period == pytest.approx(0.5)
+
+    def test_extent_covers_largest_rtt(self):
+        plan = make_plan()
+        assert plan.extent == pytest.approx(0.46)
+
+    def test_rate_fills_buffer_within_extent(self):
+        plan = make_plan(headroom=1.0)
+        # With headroom 1.0 the buffer fills exactly at the pulse's end.
+        assert plan.time_to_fill_buffer() == pytest.approx(plan.extent)
+        assert plan.outage_fraction() == pytest.approx(0.0, abs=1e-9)
+
+    def test_headroom_creates_outage(self):
+        plan = make_plan(headroom=2.0)
+        assert plan.outage_fraction() > 0.4
+
+    def test_gamma_reported(self):
+        plan = make_plan()
+        expected = plan.rate_bps * plan.extent / (mbps(15) * plan.period)
+        assert plan.gamma == pytest.approx(expected)
+
+    def test_train_matches_plan(self):
+        plan = make_plan()
+        train = plan.train(7)
+        assert train.n_pulses == 7
+        assert train.period == pytest.approx(plan.period)
+        assert train.rate_bps == pytest.approx(plan.rate_bps)
+
+    def test_render_mentions_shrew_mechanism(self):
+        assert "shrew" in make_plan().render()
+
+
+class TestValidation:
+    def test_rtt_exceeding_period_rejected(self):
+        with pytest.raises(ValidationError, match="harmonic"):
+            make_plan(min_rto=0.2, rtt_max=0.46)
+
+    def test_bad_harmonic(self):
+        with pytest.raises(ValidationError):
+            make_plan(harmonic=0)
+
+    def test_bad_headroom(self):
+        with pytest.raises(ValidationError):
+            make_plan(headroom=0.0)

@@ -1,0 +1,165 @@
+"""The timeout-aware throughput extension (Section-5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeout_model import (
+    FlowRegime,
+    extended_attack_throughput,
+    extended_degradation,
+    extended_gain,
+    flow_regime,
+    fr_packets_per_period,
+    per_flow_predictions,
+    to_packets_per_period,
+)
+from repro.core.throughput import VictimPopulation, converged_window
+from repro.sim.tcp.params import AIMDParams
+from repro.util.units import mbps, ms
+
+STD = AIMDParams.standard_tcp()
+
+
+def victims(rtts, d=2):
+    return VictimPopulation(rtts=rtts, delayed_ack=d)
+
+
+class TestFlowRegime:
+    def test_large_window_fast_recovers(self):
+        # b*W_c = 10 >= 4 dup-ACK budget.
+        assert flow_regime(w_converged=20.0, decrease=0.5, period=0.4,
+                           min_rto=1.0) is FlowRegime.FAST_RECOVERY
+
+    def test_small_window_times_out(self):
+        # b*W_c = 2 < 4: not enough dup ACKs for fast retransmit.
+        assert flow_regime(w_converged=4.0, decrease=0.5, period=0.4,
+                           min_rto=1.0) is FlowRegime.TIMEOUT
+
+    def test_small_window_on_harmonic_locks(self):
+        assert flow_regime(w_converged=4.0, decrease=0.5, period=0.5,
+                           min_rto=1.0) is FlowRegime.LOCKED
+
+    def test_large_window_on_harmonic_still_fr(self):
+        """Shrew lock-in needs the timeout path; FR flows are immune."""
+        assert flow_regime(w_converged=20.0, decrease=0.5, period=0.5,
+                           min_rto=1.0) is FlowRegime.FAST_RECOVERY
+
+    def test_boundary_exactly_four(self):
+        assert flow_regime(w_converged=8.0, decrease=0.5, period=0.4,
+                           min_rto=1.0) is FlowRegime.FAST_RECOVERY
+
+
+class TestTimeoutPeriodPackets:
+    def test_no_time_left_gives_one_packet(self):
+        pop = victims([0.2])
+        assert to_packets_per_period(pop, period=0.2, rtt=0.2,
+                                     min_rto=1.0) == 1.0
+
+    def test_more_remaining_time_more_packets(self):
+        pop = victims([0.2])
+        short = to_packets_per_period(pop, period=1.5, rtt=0.2, min_rto=1.0)
+        long = to_packets_per_period(pop, period=3.0, rtt=0.2, min_rto=1.0)
+        assert long > short
+
+    def test_far_below_fr_throughput(self):
+        """A timed-out flow delivers much less than the FR sawtooth."""
+        pop = victims([0.3])
+        period = 2.0
+        to = to_packets_per_period(pop, period, 0.3, min_rto=1.0)
+        fr = fr_packets_per_period(pop, period, 0.3)
+        assert to < 0.5 * fr
+
+    def test_rto_uses_rtt_floor(self):
+        """When RTT exceeds minRTO, the idle time is the RTT itself."""
+        pop = victims([0.5])
+        fast_host = to_packets_per_period(pop, period=1.0, rtt=0.5,
+                                          min_rto=0.2)
+        slow_host = to_packets_per_period(pop, period=1.0, rtt=0.5,
+                                          min_rto=1.0)
+        assert fast_host >= slow_host
+
+
+class TestPredictions:
+    def test_mixed_population_regimes(self):
+        pop = victims(np.linspace(0.02, 0.46, 15))
+        period = 0.45  # short period: long-RTT flows get tiny windows
+        predictions = per_flow_predictions(pop, period=period, min_rto=1.0,
+                                           bottleneck_bps=mbps(15))
+        regimes = {p.regime for p in predictions}
+        assert FlowRegime.FAST_RECOVERY in regimes
+        assert FlowRegime.TIMEOUT in regimes
+
+    def test_fair_share_cap_applied(self):
+        pop = victims([0.02])  # W_c huge: uncapped sawtooth would explode
+        period = 2.0
+        predictions = per_flow_predictions(pop, period=period, min_rto=1.0,
+                                           bottleneck_bps=mbps(15))
+        fair_share = period * 15e6 / (8 * 1500 * 1)
+        assert predictions[0].packets_per_period == pytest.approx(fair_share)
+
+    def test_w_converged_matches_eq1(self):
+        pop = victims([0.1])
+        predictions = per_flow_predictions(pop, period=1.0, min_rto=1.0,
+                                           bottleneck_bps=mbps(15))
+        assert predictions[0].w_converged == pytest.approx(
+            converged_window(STD, 2, 1.0, 0.1)
+        )
+
+    def test_locked_flows_deliver_one_packet(self):
+        pop = victims([0.46])
+        predictions = per_flow_predictions(pop, period=1.0, min_rto=1.0,
+                                           bottleneck_bps=mbps(15))
+        assert predictions[0].regime is FlowRegime.LOCKED
+        assert predictions[0].packets_per_period == 1.0
+
+
+class TestExtendedDegradation:
+    def test_bounded_in_unit_interval(self):
+        pop = victims(np.linspace(0.02, 0.46, 15))
+        for period in (0.3, 0.7, 1.3, 2.4):
+            value = extended_degradation(pop, period=period,
+                                         bottleneck_bps=mbps(15),
+                                         min_rto=1.0)
+            assert 0.0 <= value < 1.0
+
+    def test_harmonic_period_spikes_damage(self):
+        """Shrew lock-in: damage at minRTO harmonics exceeds neighbours."""
+        pop = victims(np.linspace(0.02, 0.46, 15))
+        at_harmonic = extended_degradation(pop, period=1.0,
+                                           bottleneck_bps=mbps(15),
+                                           min_rto=1.0)
+        off_harmonic = extended_degradation(pop, period=1.3,
+                                            bottleneck_bps=mbps(15),
+                                            min_rto=1.0)
+        assert at_harmonic > off_harmonic
+
+    def test_reduces_to_zero_for_giant_windows(self):
+        """All flows FR with fair-share-capped sawtooths above their share:
+        the extension predicts no degradation, like Prop. 2's clamp."""
+        pop = victims([0.02, 0.03])
+        value = extended_degradation(pop, period=5.0, bottleneck_bps=mbps(15),
+                                     min_rto=1.0)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_throughput_requires_two_pulses(self):
+        pop = victims([0.1])
+        with pytest.raises(ValueError):
+            extended_attack_throughput(pop, period=1.0, n_pulses=1,
+                                       min_rto=1.0, bottleneck_bps=mbps(15))
+
+
+class TestExtendedGain:
+    def test_risk_discount_applied(self):
+        pop = victims(np.linspace(0.02, 0.46, 15))
+        low = extended_gain(pop, gamma=0.3, period=0.66,
+                            bottleneck_bps=mbps(15), min_rto=1.0, kappa=1.0)
+        discounted = extended_gain(pop, gamma=0.3, period=0.66,
+                                   bottleneck_bps=mbps(15), min_rto=1.0,
+                                   kappa=5.0)
+        assert discounted < low
+
+    def test_gamma_domain_enforced(self):
+        pop = victims([0.1])
+        with pytest.raises(ValueError):
+            extended_gain(pop, gamma=1.0, period=1.0,
+                          bottleneck_bps=mbps(15), min_rto=1.0)

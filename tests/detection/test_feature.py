@@ -1,0 +1,92 @@
+"""Flow-conformance (feature-based) filtering."""
+
+import pytest
+
+from repro.detection.feature import ConformanceDetector, FlowProfile
+from repro.sim.packet import Packet, PacketKind
+
+
+def forward(detector, flow_id, times, size=1500.0, kind=PacketKind.ATTACK):
+    for t in times:
+        packet = Packet(kind, flow_id=flow_id, src=0, dst=1, size_bytes=size)
+        detector.observe_forward(packet, t, True)
+
+
+def reverse_acks(detector, flow_id, count):
+    for _ in range(count):
+        packet = Packet(PacketKind.ACK, flow_id=flow_id, src=1, dst=0,
+                        size_bytes=40.0)
+        detector.observe_reverse(packet, 0.0, True)
+
+
+class TestFlowProfile:
+    def test_mean_rate(self):
+        profile = FlowProfile()
+        profile.forward_bytes = 1_000_000.0
+        profile.first_time, profile.last_time = 0.0, 8.0
+        assert profile.mean_rate_bps() == pytest.approx(1e6)
+
+    def test_zero_span_rate(self):
+        profile = FlowProfile()
+        profile.forward_bytes = 100.0
+        assert profile.mean_rate_bps() == 0.0
+
+    def test_one_way(self):
+        profile = FlowProfile()
+        profile.forward_packets = 5
+        assert profile.one_way()
+        profile.reverse_packets = 1
+        assert not profile.one_way()
+
+    def test_burst_ratio_smooth_traffic(self):
+        profile = FlowProfile()
+        profile.arrival_times = [i * 0.01 for i in range(1000)]
+        assert profile.burst_ratio() == pytest.approx(1.0, rel=0.1)
+
+    def test_burst_ratio_pulsed_traffic(self):
+        profile = FlowProfile()
+        times = []
+        for pulse_start in (0.0, 1.0, 2.0):
+            times.extend(pulse_start + i * 0.001 for i in range(100))
+        profile.arrival_times = times
+        assert profile.burst_ratio() > 3.0
+
+
+class TestConformanceDetector:
+    def test_one_way_flood_flagged(self):
+        detector = ConformanceDetector(min_rate_bps=1e6)
+        forward(detector, 50, [i * 0.001 for i in range(10_000)])
+        assert detector.is_flagged(50)
+
+    def test_tcp_flow_with_acks_not_flagged(self):
+        detector = ConformanceDetector(min_rate_bps=1e6)
+        forward(detector, 1, [i * 0.001 for i in range(10_000)],
+                kind=PacketKind.DATA)
+        reverse_acks(detector, 1, 500)
+        assert not detector.is_flagged(1)
+
+    def test_low_rate_one_way_flow_evades(self):
+        """The PDoS stealth property: under the rate floor, no flag."""
+        detector = ConformanceDetector(min_rate_bps=10e6)
+        # 1500 B every 10 ms = 1.2 Mb/s, far below the 10 Mb/s floor.
+        forward(detector, 50, [i * 0.01 for i in range(1000)])
+        assert not detector.is_flagged(50)
+
+    def test_flagged_sorted_by_rate(self):
+        detector = ConformanceDetector(min_rate_bps=1e5)
+        forward(detector, 1, [i * 0.01 for i in range(1000)])   # slower
+        forward(detector, 2, [i * 0.001 for i in range(1000)])  # faster
+        flagged = detector.flagged_flows()
+        assert [flow_id for flow_id, _ in flagged] == [2, 1]
+
+    def test_bursty_flows_reported_separately(self):
+        detector = ConformanceDetector(min_burst_ratio=3.0)
+        times = []
+        for pulse_start in (0.0, 2.0, 4.0):
+            times.extend(pulse_start + i * 0.001 for i in range(200))
+        forward(detector, 7, times)
+        assert 7 in [fid for fid, _ in detector.bursty_flows()]
+
+    def test_unknown_flow_not_flagged(self):
+        detector = ConformanceDetector()
+        assert not detector.is_flagged(12345)

@@ -1,0 +1,81 @@
+"""Volume-threshold flood detection."""
+
+import numpy as np
+import pytest
+
+from repro.detection.flood import FloodDetector
+from repro.util.errors import ValidationError
+
+
+def series_at_rate(rate_bps, duration=20.0, bin_width=0.1):
+    """A constant-rate byte series."""
+    n_bins = int(duration / bin_width)
+    return np.full(n_bins, rate_bps * bin_width / 8.0)
+
+
+class TestDetection:
+    def test_flood_above_threshold_detected(self):
+        detector = FloodDetector(15e6, threshold_fraction=1.2, window=5.0)
+        verdict = detector.inspect(series_at_rate(30e6), 0.1)
+        assert verdict.detected
+        assert verdict.max_window_rate == pytest.approx(30e6, rel=0.01)
+
+    def test_saturated_link_not_flagged(self):
+        detector = FloodDetector(15e6, threshold_fraction=1.2, window=5.0)
+        verdict = detector.inspect(series_at_rate(15e6), 0.1)
+        assert not verdict.detected
+
+    def test_pdos_average_under_threshold_evades(self):
+        """Pulses above line rate but a low duty cycle: window average safe."""
+        bin_width = 0.05
+        n_bins = 400
+        series = np.zeros(n_bins)
+        # 100 ms pulses of 30 Mb/s every 500 ms, idle otherwise.
+        for start in range(0, n_bins, 10):
+            series[start:start + 2] = 30e6 * bin_width / 8.0
+        detector = FloodDetector(15e6, threshold_fraction=1.2, window=5.0)
+        verdict = detector.inspect(series, bin_width)
+        assert not verdict.detected
+        # but the same pulses shrunk into a tiny window WOULD alarm:
+        tight = FloodDetector(15e6, threshold_fraction=1.2, window=0.1)
+        assert tight.inspect(series, bin_width).detected
+
+    def test_first_alarm_time(self):
+        bin_width = 0.1
+        series = np.zeros(200)
+        series[100:] = 40e6 * bin_width / 8.0  # flood starts at t = 10 s
+        detector = FloodDetector(15e6, threshold_fraction=1.2, window=2.0)
+        verdict = detector.inspect(series, bin_width)
+        assert verdict.detected
+        assert 10.0 < verdict.first_alarm_time < 13.0
+
+    def test_alarm_fraction(self):
+        detector = FloodDetector(15e6, threshold_fraction=1.2, window=1.0)
+        verdict = detector.inspect(series_at_rate(30e6), 0.1)
+        assert verdict.alarm_fraction == pytest.approx(1.0)
+
+    def test_empty_series(self):
+        detector = FloodDetector(15e6)
+        verdict = detector.inspect(np.array([]), 0.1)
+        assert not verdict.detected
+        assert verdict.first_alarm_time is None
+
+    def test_series_shorter_than_window(self):
+        detector = FloodDetector(15e6, threshold_fraction=1.2, window=100.0)
+        verdict = detector.inspect(series_at_rate(30e6, duration=2.0), 0.1)
+        assert verdict.detected  # falls back to the whole-series average
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValidationError):
+            FloodDetector(0.0)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValidationError):
+            FloodDetector(15e6, threshold_fraction=0.0)
+
+    def test_bin_width_positive(self):
+        detector = FloodDetector(15e6)
+        with pytest.raises(ValidationError):
+            detector.inspect(np.ones(10), 0.0)

@@ -1,0 +1,124 @@
+"""Experiment machinery: platforms, sweeps, renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import GainRegime
+from repro.experiments.base import (
+    DumbbellPlatform,
+    TestbedPlatform,
+    default_gammas,
+    full_scale,
+    render_curve_table,
+    run_gain_sweep,
+)
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+class TestScaleSwitch:
+    def test_default_is_scaled_down(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        assert len(default_gammas()) == 5
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        assert len(default_gammas()) == 9
+
+    def test_explicit_count(self):
+        assert len(default_gammas(3)) == 3
+
+
+class TestPlatforms:
+    def test_dumbbell_victims_match_topology(self):
+        platform = DumbbellPlatform(n_flows=7)
+        victims = platform.victim_population()
+        assert victims.n_flows == 7
+        assert victims.delayed_ack == 2          # the analysis d
+        assert platform.min_rto == 1.0           # ns-2 default
+        assert platform.bottleneck_bps == mbps(15)
+
+    def test_testbed_victims_match_topology(self):
+        platform = TestbedPlatform(n_flows=4)
+        victims = platform.victim_population()
+        assert victims.n_flows == 4
+        assert platform.min_rto == pytest.approx(0.2)
+        assert platform.bottleneck_bps == mbps(10)
+
+    def test_dumbbell_queue_choices(self):
+        DumbbellPlatform(queue="red")
+        DumbbellPlatform(queue="droptail")
+        with pytest.raises(ValidationError):
+            DumbbellPlatform(queue="codel")
+
+    def test_measure_goodput_baseline_positive(self):
+        platform = DumbbellPlatform(n_flows=3)
+        goodput = platform.measure_goodput(None, warmup=2.0, window=4.0)
+        assert goodput > 0
+
+    def test_measurement_is_deterministic(self):
+        platform = DumbbellPlatform(n_flows=3, seed=5)
+        first = platform.measure_goodput(None, warmup=2.0, window=3.0)
+        second = platform.measure_goodput(None, warmup=2.0, window=3.0)
+        assert first == second
+
+
+class TestGainSweep:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        platform = DumbbellPlatform(n_flows=5, seed=21)
+        return run_gain_sweep(
+            platform,
+            rate_bps=mbps(30),
+            extent=ms(100),
+            gammas=[0.3, 0.5, 0.7],
+            warmup=3.0,
+            window=8.0,
+            label="unit-test",
+        )
+
+    def test_points_cover_gammas(self, curve):
+        assert [p.gamma for p in curve.points] == [0.3, 0.5, 0.7]
+
+    def test_periods_follow_eq4(self, curve):
+        for point in curve.points:
+            expected = 30e6 * 0.1 / (point.gamma * 15e6)
+            assert point.period == pytest.approx(expected)
+
+    def test_measured_degradation_in_unit_range(self, curve):
+        for point in curve.points:
+            assert -0.5 < point.measured_degradation <= 1.0
+
+    def test_attack_actually_degrades(self, curve):
+        assert max(p.measured_degradation for p in curve.points) > 0.2
+
+    def test_gain_is_degradation_times_risk(self, curve):
+        for point in curve.points:
+            expected = point.measured_degradation * (1 - point.gamma)
+            assert point.measured_gain == pytest.approx(expected)
+
+    def test_classification_present(self, curve):
+        assert curve.comparison.regime in GainRegime
+
+    def test_render_table_mentions_label(self, curve):
+        table = render_curve_table([curve], title="My title")
+        assert "My title" in table
+        assert "unit-test" in table
+        assert "gamma" in table
+
+    def test_peaks(self, curve):
+        peak = curve.peak_measured()
+        assert peak.measured_gain == max(p.measured_gain for p in curve.points)
+
+    def test_arrays(self, curve):
+        assert curve.gammas().shape == (3,)
+        assert curve.analytic().shape == (3,)
+        assert curve.measured().shape == (3,)
+
+    def test_plot_renders_both_series(self, curve):
+        text = curve.plot()
+        assert "measured" in text
+        assert "analytic" in text
+        assert "|" in text

@@ -1,0 +1,39 @@
+"""The detection-evasion experiment (structure; the bench checks claims)."""
+
+import pytest
+
+from repro.experiments.detection_evasion import run_detection_evasion
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_detection_evasion(horizon=20.0)
+
+
+class TestEvasionReport:
+    def test_four_conditions(self, report):
+        assert set(report.scenarios) == {"baseline", "pdos-k1", "pdos-k8",
+                                         "flooding"}
+
+    def test_gamma_stars_ordered(self, report):
+        """Risk aversion lowers the optimal rate."""
+        assert report.gamma_star_averse < report.gamma_star
+
+    def test_loads_ordered(self, report):
+        s = report.scenarios
+        assert s["flooding"].mean_rate_fraction > 1.5
+        assert (s["pdos-k8"].mean_rate_fraction
+                < s["pdos-k1"].mean_rate_fraction
+                <= 1.05)
+
+    def test_volume_detector_flags_only_flood(self, report):
+        s = report.scenarios
+        assert s["flooding"].flood_verdict.detected
+        assert not s["baseline"].flood_verdict.detected
+        assert not s["pdos-k1"].flood_verdict.detected
+        assert not s["pdos-k8"].flood_verdict.detected
+
+    def test_render(self, report):
+        text = report.render()
+        assert "volume" in text
+        assert "conformance" in text

@@ -1,0 +1,44 @@
+"""The distributed-deployment experiment."""
+
+import pytest
+
+from repro.experiments.distributed_attack import run_distributed_attack
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_distributed_attack(n_sources=4, window=12.0)
+
+
+class TestDistributedAttack:
+    def test_three_deployments(self, result):
+        assert set(result.outcomes) == {"single", "synchronized",
+                                        "interleaved"}
+
+    def test_damage_equivalent_across_deployments(self, result):
+        """Same bottleneck byte schedule -> same victim damage."""
+        degradations = [o.degradation for o in result.outcomes.values()]
+        assert max(degradations) - min(degradations) < 0.15
+
+    def test_all_deployments_damage(self, result):
+        for outcome in result.outcomes.values():
+            assert outcome.degradation > 0.3
+
+    def test_single_source_flagged(self, result):
+        assert result.outcomes["single"].flagged_sources == 1
+
+    def test_split_sources_evade(self, result):
+        assert result.outcomes["synchronized"].flagged_sources == 0
+        assert result.outcomes["interleaved"].flagged_sources == 0
+
+    def test_per_source_gamma_divided(self, result):
+        single = result.outcomes["single"].per_source_gamma
+        for name in ("synchronized", "interleaved"):
+            assert result.outcomes[name].per_source_gamma == pytest.approx(
+                single / 4, rel=1e-6
+            )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "deployment" in text
+        assert "single" in text

@@ -1,0 +1,65 @@
+"""Per-flow damage experiment and the victim-variant ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeout_model import FlowRegime
+from repro.experiments.ablation_victim import run_victim_ablation
+from repro.experiments.flow_damage import run_flow_damage
+from repro.sim.tcp import TCPVariant
+
+
+class TestFlowDamage:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_flow_damage(n_flows=8, window=12.0)
+
+    def test_one_record_per_flow(self, report):
+        assert len(report.damages) == 8
+        assert len(report.regimes) == 8
+
+    def test_rtts_ascending(self, report):
+        rtts = [d.rtt for d in report.damages]
+        assert rtts == sorted(rtts)
+
+    def test_every_flow_degraded(self, report):
+        assert all(d.degradation > 0.1 for d in report.damages)
+
+    def test_fairness_indices_valid(self, report):
+        n = len(report.damages)
+        for value in (report.fairness_before, report.fairness_during):
+            assert 1.0 / n - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_regimes_from_model(self, report):
+        assert all(isinstance(r, FlowRegime) for r in report.regimes)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Jain fairness" in text
+        assert "RTT" in text
+
+
+class TestVictimAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_victim_ablation(
+            gammas=[0.5],
+            variants=(TCPVariant.NEWRENO, TCPVariant.SACK),
+        )
+
+    def test_all_variants_swept(self, ablation):
+        assert set(ablation.curves) == {TCPVariant.NEWRENO, TCPVariant.SACK}
+
+    def test_attack_effective_against_every_variant(self, ablation):
+        """The paper's leverage is the AIMD law, not a recovery detail."""
+        for variant in ablation.curves:
+            assert ablation.mean_degradation(variant) > 0.3
+
+    def test_sack_no_worse_than_newreno(self, ablation):
+        assert (
+            ablation.mean_degradation(TCPVariant.SACK)
+            <= ablation.mean_degradation(TCPVariant.NEWRENO) + 0.05
+        )
+
+    def test_render(self, ablation):
+        assert "victim TCP variant" in ablation.render()

@@ -1,0 +1,33 @@
+"""The mice-vs-elephants experiment."""
+
+import pytest
+
+from repro.experiments.mice_elephants import run_mice_elephants
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_mice_elephants(window=18.0, n_elephants=6)
+
+
+class TestMiceElephants:
+    def test_elephants_degraded(self, result):
+        assert result.elephant_degradation() > 0.3
+
+    def test_mice_tail_inflates(self, result):
+        """The attack's interactive damage: tail FCT grows by RTO-scale."""
+        assert result.attacked.fct_p90 > result.baseline.fct_p90
+        assert result.mice_p90_inflation() > 1.2
+
+    def test_mice_population_sizes_match(self, result):
+        # Same seed => the same launch schedule in both conditions.
+        assert result.attacked.mice_launched == result.baseline.mice_launched
+
+    def test_most_mice_complete_in_baseline(self, result):
+        assert (result.baseline.mice_completed
+                >= 0.8 * result.baseline.mice_launched)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "FCT p90" in text
+        assert "elephant" in text

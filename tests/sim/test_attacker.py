@@ -1,0 +1,111 @@
+"""Pulse-train and CBR traffic sources."""
+
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.sim.attacker import CBRSource, PulseAttackSource
+from repro.sim.node import Node
+
+
+class Sink:
+    """Records packet arrival times on a node agent."""
+
+    def __init__(self):
+        self.arrivals = []
+
+    def __call__(self, packet):
+        self.arrivals.append(packet)
+
+
+@pytest.fixture
+def direct(sim):
+    """Two directly linked nodes with a fast, lossless wire."""
+    from repro.sim.link import Link
+    from repro.sim.queues import DropTailQueue
+
+    a, b = Node(sim, 0), Node(sim, 1)
+    Link(sim, a, b, rate_bps=1e9, delay=0.001,
+         queue=DropTailQueue(100_000_000))
+    sink = Sink()
+    b.register_agent(9, sink)
+    return a, b, sink
+
+
+class TestPulseAttackSource:
+    def test_packet_count_matches_pulse_budget(self, sim, direct):
+        a, _b, sink = direct
+        # 10 Mb/s for 100 ms = 1 Mbit ~= 83 x 1500 B packets per pulse.
+        train = PulseTrain.uniform(0.1, 10e6, 0.4, n_pulses=3)
+        source = PulseAttackSource(sim, a, 9, 1, train, packet_bytes=1500.0)
+        source.start()
+        sim.run()
+        expected_per_pulse = 10e6 * 0.1 / (1500 * 8)
+        assert source.pulses_emitted == 3
+        assert source.packets_emitted == pytest.approx(
+            3 * expected_per_pulse, rel=0.05
+        )
+        assert len(sink.arrivals) == source.packets_emitted
+
+    def test_pulse_timing_respects_spacing(self, sim, direct):
+        a, _b, sink = direct
+        train = PulseTrain.uniform(0.05, 8e6, 0.95, n_pulses=2)
+        PulseAttackSource(sim, a, 9, 1, train, start_time=2.0).start()
+        sim.run()
+        times = [p.sent_at for p in sink.arrivals]
+        first_pulse = [t for t in times if t < 2.5]
+        second_pulse = [t for t in times if t >= 2.5]
+        assert min(first_pulse) == pytest.approx(2.0)
+        assert max(first_pulse) <= 2.05 + 1e-9
+        assert min(second_pulse) == pytest.approx(3.0)
+
+    def test_packets_evenly_spaced_at_rate(self, sim, direct):
+        a, _b, sink = direct
+        train = PulseTrain.uniform(0.012, 1e6, 0.1, n_pulses=1)
+        PulseAttackSource(sim, a, 9, 1, train, packet_bytes=1500.0).start()
+        sim.run()
+        times = sorted(p.sent_at for p in sink.arrivals)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.012) for g in gaps)
+
+    def test_pulse_index_stamped(self, sim, direct):
+        a, _b, sink = direct
+        train = PulseTrain.uniform(0.01, 8e6, 0.02, n_pulses=3)
+        PulseAttackSource(sim, a, 9, 1, train).start()
+        sim.run()
+        assert {p.seq for p in sink.arrivals} == {0, 1, 2}
+
+    def test_start_idempotent(self, sim, direct):
+        a, _b, sink = direct
+        train = PulseTrain.uniform(0.01, 8e6, 0.02, n_pulses=1)
+        source = PulseAttackSource(sim, a, 9, 1, train)
+        source.start()
+        source.start()
+        sim.run()
+        assert source.pulses_emitted == 1
+
+    def test_attack_packets_flagged(self, sim, direct):
+        a, _b, sink = direct
+        train = PulseTrain.uniform(0.01, 8e6, 0.0, n_pulses=1)
+        PulseAttackSource(sim, a, 9, 1, train).start()
+        sim.run()
+        assert all(p.is_attack for p in sink.arrivals)
+
+
+class TestCBRSource:
+    def test_steady_rate(self, sim, direct):
+        a, _b, sink = direct
+        source = CBRSource(sim, a, 9, 1, rate_bps=1e6, packet_bytes=1000.0,
+                           stop_time=1.0)
+        source.start()
+        sim.run(until=2.0)
+        # 1 Mb/s for 1 s = 125 packets of 1000 B.
+        assert source.packets_emitted == pytest.approx(125, abs=2)
+
+    def test_start_and_stop_window(self, sim, direct):
+        a, _b, sink = direct
+        CBRSource(sim, a, 9, 1, rate_bps=1e6, start_time=0.5,
+                  stop_time=0.6).start()
+        sim.run(until=1.0)
+        times = [p.sent_at for p in sink.arrivals]
+        assert min(times) >= 0.5
+        assert max(times) < 0.6

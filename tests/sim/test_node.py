@@ -1,0 +1,87 @@
+"""Node forwarding and agent delivery."""
+
+import pytest
+
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet, PacketKind
+from repro.util.errors import ConfigurationError
+
+
+def make_packet(dst, flow_id=0):
+    return Packet(PacketKind.DATA, flow_id=flow_id, src=0, dst=dst,
+                  size_bytes=100.0)
+
+
+@pytest.fixture
+def chain(sim):
+    """a -- b -- c with routes a->c via b."""
+    a, b, c = Node(sim, 0, "a"), Node(sim, 1, "b"), Node(sim, 2, "c")
+    Link(sim, a, b, 1e9, 0.001)
+    Link(sim, b, c, 1e9, 0.001)
+    a.add_route(2, 1)
+    b.add_route(2, 2)
+    return a, b, c
+
+
+class TestDelivery:
+    def test_multi_hop_forwarding(self, sim, chain):
+        a, _b, c = chain
+        got = []
+        c.register_agent(0, got.append)
+        a.send(make_packet(dst=2))
+        sim.run()
+        assert len(got) == 1
+
+    def test_local_delivery_to_agent(self, sim, chain):
+        _a, _b, c = chain
+        got = []
+        c.register_agent(5, got.append)
+        c.receive(make_packet(dst=2, flow_id=5))
+        assert len(got) == 1
+
+    def test_unknown_flow_counted_undeliverable(self, sim, chain):
+        _a, _b, c = chain
+        c.receive(make_packet(dst=2, flow_id=99))
+        assert c.undeliverable == 1
+
+    def test_unroutable_destination_discarded(self, sim, chain):
+        a, _b, _c = chain
+        a.send(make_packet(dst=42))
+        assert a.undeliverable == 1
+
+    def test_agents_demultiplex_by_flow(self, sim, chain):
+        _a, _b, c = chain
+        got1, got2 = [], []
+        c.register_agent(1, got1.append)
+        c.register_agent(2, got2.append)
+        c.receive(make_packet(dst=2, flow_id=2))
+        assert (len(got1), len(got2)) == (0, 1)
+
+
+class TestWiring:
+    def test_duplicate_agent_rejected(self, sim):
+        node = Node(sim, 0)
+        node.register_agent(1, lambda p: None)
+        with pytest.raises(ConfigurationError):
+            node.register_agent(1, lambda p: None)
+
+    def test_route_requires_existing_link(self, sim):
+        node = Node(sim, 0)
+        with pytest.raises(ConfigurationError):
+            node.add_route(5, 9)
+
+    def test_link_attachment_creates_neighbor_route(self, sim):
+        a, b = Node(sim, 0), Node(sim, 1)
+        link = Link(sim, a, b, 1e9, 0.0)
+        assert a.link_to(1) is link
+        got = []
+        b.register_agent(0, got.append)
+        a.send(make_packet(dst=1))
+        sim.run()
+        assert len(got) == 1
+
+    def test_link_to_missing_neighbor_raises(self, sim):
+        node = Node(sim, 0)
+        with pytest.raises(ConfigurationError):
+            node.link_to(3)

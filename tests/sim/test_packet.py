@@ -1,0 +1,38 @@
+"""Packet model."""
+
+from repro.sim.packet import ACK_SIZE_BYTES, Packet, PacketKind, TCP_HEADER_BYTES
+
+
+class TestPacket:
+    def make(self, kind=PacketKind.DATA, **kwargs):
+        defaults = dict(flow_id=1, src=2, dst=3, size_bytes=1500.0)
+        defaults.update(kwargs)
+        return Packet(kind, **defaults)
+
+    def test_uids_are_unique_and_increasing(self):
+        first = self.make()
+        second = self.make()
+        assert second.uid > first.uid
+
+    def test_attack_flag(self):
+        assert self.make(PacketKind.ATTACK).is_attack
+        assert not self.make(PacketKind.DATA).is_attack
+        assert not self.make(PacketKind.ACK).is_attack
+        assert not self.make(PacketKind.CBR).is_attack
+
+    def test_defaults(self):
+        packet = self.make()
+        assert packet.seq is None
+        assert packet.ack is None
+        assert packet.retransmit is False
+        assert packet.hops == 0
+
+    def test_header_constants(self):
+        assert TCP_HEADER_BYTES == 40
+        assert ACK_SIZE_BYTES == 40
+
+    def test_repr_includes_seq_and_ack(self):
+        data = self.make(seq=7)
+        ack = self.make(PacketKind.ACK, ack=9)
+        assert "seq=7" in repr(data)
+        assert "ack=9" in repr(ack)

@@ -1,0 +1,94 @@
+"""Jacobson/Karels RTO estimation."""
+
+import pytest
+
+from repro.sim.tcp.rto import RTOEstimator
+
+
+class TestInitialState:
+    def test_initial_rto_used_before_samples(self):
+        est = RTOEstimator(min_rto=0.2, initial_rto=3.0)
+        assert est.rto == 3.0
+        assert est.srtt is None
+
+    def test_initial_rto_clamped(self):
+        est = RTOEstimator(min_rto=0.5, max_rto=60.0, initial_rto=0.1)
+        assert est.rto == 0.5
+
+
+class TestSampling:
+    def test_first_sample_initializes(self):
+        est = RTOEstimator(min_rto=0.01)
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_constant_rtt_converges(self):
+        est = RTOEstimator(min_rto=0.01)
+        for _ in range(200):
+            est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+        assert est.rto >= 0.01
+
+    def test_variance_grows_with_jitter(self):
+        est = RTOEstimator(min_rto=0.01)
+        for i in range(100):
+            est.sample(0.1 if i % 2 == 0 else 0.3)
+        assert est.rttvar > 0.05
+
+    def test_min_rto_floor(self):
+        est = RTOEstimator(min_rto=1.0)
+        for _ in range(50):
+            est.sample(0.01)
+        assert est.rto == 1.0
+
+    def test_max_rto_ceiling(self):
+        est = RTOEstimator(min_rto=0.2, max_rto=5.0)
+        est.sample(100.0)
+        assert est.rto == 5.0
+
+    def test_negative_sample_ignored(self):
+        est = RTOEstimator()
+        est.sample(0.1)
+        before = est.srtt
+        est.sample(-0.5)
+        assert est.srtt == before
+
+
+class TestBackoff:
+    def test_backoff_doubles(self):
+        est = RTOEstimator(min_rto=0.2, max_rto=120.0)
+        est.sample(0.5)
+        base = est.rto
+        est.backoff()
+        assert est.rto == pytest.approx(2 * base)
+        est.backoff()
+        assert est.rto == pytest.approx(4 * base)
+
+    def test_backoff_capped_by_max_rto(self):
+        est = RTOEstimator(min_rto=0.2, max_rto=3.0)
+        est.sample(1.0)
+        for _ in range(10):
+            est.backoff()
+        assert est.rto == 3.0
+
+    def test_backoff_multiplier_capped(self):
+        est = RTOEstimator()
+        for _ in range(20):
+            est.backoff()
+        assert est.backoff_multiplier == 64
+
+    def test_new_sample_clears_backoff(self):
+        est = RTOEstimator(min_rto=0.2)
+        est.sample(0.5)
+        est.backoff()
+        est.sample(0.5)
+        assert est.backoff_multiplier == 1
+
+    def test_reset_backoff(self):
+        est = RTOEstimator()
+        est.backoff()
+        est.reset_backoff()
+        assert est.backoff_multiplier == 1

@@ -1,0 +1,124 @@
+"""TCP over real links: throughput, fairness, delayed ACKs, AIMD pairs."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.queues import DropTailQueue
+from repro.sim.tcp import AIMDParams, TCPConfig, TCPReceiver, TCPSender, TCPVariant
+
+
+def two_node_flow(config, *, rate_bps=10e6, delay=0.02, buffer_bytes=30_000.0,
+                  n_flows=1):
+    """n flows across one bottleneck link; returns (sim, senders)."""
+    sim = Simulator()
+    a, b = Node(sim, 0, "src"), Node(sim, 1, "dst")
+    Link(sim, a, b, rate_bps, delay, DropTailQueue(buffer_bytes))
+    Link(sim, b, a, rate_bps, delay, DropTailQueue(1_000_000.0))
+    senders = []
+    for flow in range(n_flows):
+        senders.append(TCPSender(sim, a, flow, receiver_node_id=1,
+                                 config=config))
+        TCPReceiver(sim, b, flow, sender_node_id=0, config=config)
+    return sim, senders
+
+
+def make_config(**overrides):
+    params = dict(variant=TCPVariant.NEWRENO, delayed_ack=1, min_rto=0.2,
+                  initial_rto=1.0)
+    params.update(overrides)
+    return TCPConfig(**params)
+
+
+class TestSingleFlow:
+    def test_saturates_bottleneck(self):
+        config = make_config()
+        sim, senders = two_node_flow(config)
+        senders[0].start()
+        sim.run(until=10.0)
+        goodput_bps = senders[0].goodput_bytes() * 8 / 10.0
+        # >= 80% of line rate after slow-start ramp and header overhead.
+        assert goodput_bps > 0.8 * 10e6
+
+    def test_loss_recovery_keeps_data_flowing(self):
+        config = make_config()
+        # Tiny buffer forces periodic overflow: the classic sawtooth.
+        sim, senders = two_node_flow(config, buffer_bytes=8 * 1500.0)
+        senders[0].start()
+        sim.run(until=10.0)
+        sender = senders[0]
+        assert sender.fast_retransmits + sender.timeouts > 0
+        assert sender.goodput_bytes() * 8 / 10.0 > 0.5 * 10e6
+
+    def test_delivery_is_exactly_in_order(self):
+        config = make_config()
+        sim, senders = two_node_flow(config, buffer_bytes=8 * 1500.0)
+        senders[0].start()
+        sim.run(until=5.0)
+        # Receiver's cumulative point can't exceed sender's next_seq.
+        assert senders[0].cumack < senders[0].next_seq
+
+
+class TestDelayedAck:
+    def test_d2_slows_window_growth(self):
+        grown = {}
+        for d in (1, 2):
+            config = make_config(delayed_ack=d, initial_ssthresh=4.0,
+                                 initial_cwnd=4.0)
+            sim, senders = two_node_flow(config, rate_bps=100e6)
+            senders[0].start()
+            sim.run(until=2.0)
+            grown[d] = senders[0].cwnd
+        # Congestion avoidance grows ~a/d per RTT.
+        assert grown[2] < grown[1]
+        ratio = (grown[1] - 4.0) / max(grown[2] - 4.0, 1e-9)
+        assert ratio == pytest.approx(2.0, rel=0.35)
+
+
+class TestGeneralAIMD:
+    def test_gentler_decrease_keeps_higher_window(self):
+        results = {}
+        for b in (0.5, 0.875):
+            config = make_config(aimd=AIMDParams(1.0, b))
+            sim, senders = two_node_flow(config, buffer_bytes=10 * 1500.0)
+            senders[0].start()
+            sim.run(until=8.0)
+            results[b] = senders[0].goodput_bytes()
+        assert results[0.875] >= results[0.5] * 0.95
+
+    def test_tcp_friendly_pair_comparable_throughput(self):
+        results = {}
+        for aimd in (AIMDParams.standard_tcp(), AIMDParams.tcp_friendly(0.875)):
+            config = make_config(aimd=aimd)
+            sim, senders = two_node_flow(config, buffer_bytes=10 * 1500.0)
+            senders[0].start()
+            sim.run(until=10.0)
+            results[aimd.decrease] = senders[0].goodput_bytes() * 8 / 10.0
+        # Yang & Lam's pairing keeps long-run throughput within ~35%.
+        assert results[0.875] == pytest.approx(results[0.5], rel=0.35)
+
+
+class TestMultiFlow:
+    def test_capacity_shared(self):
+        config = make_config()
+        sim, senders = two_node_flow(config, n_flows=4,
+                                     buffer_bytes=40 * 1500.0)
+        for sender in senders:
+            sender.start()
+        sim.run(until=12.0)
+        total = sum(s.goodput_bytes() for s in senders) * 8 / 12.0
+        assert total > 0.8 * 10e6
+        # Equal RTTs: no flow should get more than half the pie.
+        shares = [s.goodput_bytes() * 8 / 12.0 / 10e6 for s in senders]
+        assert max(shares) < 0.55
+
+    def test_all_flows_progress(self):
+        config = make_config()
+        sim, senders = two_node_flow(config, n_flows=4,
+                                     buffer_bytes=20 * 1500.0)
+        for sender in senders:
+            sender.start()
+        sim.run(until=12.0)
+        for sender in senders:
+            assert sender.acked_segments > 100

@@ -1,0 +1,82 @@
+"""Randomized robustness properties of the TCP implementation.
+
+Hypothesis generates arbitrary finite loss patterns and checks the
+invariants every variant must uphold: eventual delivery, cumulative-ACK
+sanity, and conservation between sender and receiver bookkeeping.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.tcp import TCPConfig, TCPVariant
+
+from tests.sim.tcp_harness import TCPHarness
+
+VARIANTS = [TCPVariant.TAHOE, TCPVariant.RENO, TCPVariant.NEWRENO,
+            TCPVariant.SACK]
+
+loss_patterns = st.sets(st.integers(0, 80), max_size=12)
+
+
+def run_with_losses(variant, losses, duration=8.0):
+    config = TCPConfig(
+        variant=variant,
+        delayed_ack=1,
+        min_rto=0.2,
+        initial_rto=0.4,
+        initial_cwnd=8.0,
+        initial_ssthresh=32.0,
+    )
+    harness = TCPHarness(config)
+    harness.drop_seqs(losses)
+    harness.start()
+    harness.run(duration)
+    return harness
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestLossRobustness:
+    @given(losses=loss_patterns)
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_finite_losses_always_repaired(self, variant, losses):
+        """Any finite first-transmission loss pattern must be recovered."""
+        harness = run_with_losses(variant, losses, duration=10.0)
+        sender = harness.sender
+        if losses:
+            assert sender.cumack >= max(losses)
+        assert sender.acked_segments > 100
+
+    @given(losses=loss_patterns)
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_bookkeeping_invariants(self, variant, losses):
+        harness = run_with_losses(variant, losses, duration=3.0)
+        sender, receiver = harness.sender, harness.receiver
+        # The sender can never have ACKed data it did not send.
+        assert sender.cumack <= sender.highest_sent
+        # next_seq always points past the cumulative ACK (it may sit
+        # below highest_sent mid-way through a go-back-N recovery).
+        assert sender.next_seq > sender.cumack
+        # Sender and receiver agree on the cumulative point eventually
+        # (receiver may be ahead only by ACKs still in flight).
+        assert receiver.cumack >= sender.cumack
+        # Retransmission accounting is consistent.
+        assert sender.retransmissions <= sender.segments_sent
+        assert sender.segments_sent >= sender.acked_segments
+
+    @given(losses=loss_patterns, data=st.data())
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_delayed_ack_does_not_break_recovery(self, variant, losses, data):
+        config = TCPConfig(
+            variant=variant, delayed_ack=2, min_rto=0.2, initial_rto=0.4,
+            initial_cwnd=8.0,
+        )
+        harness = TCPHarness(config)
+        harness.drop_seqs(losses)
+        harness.start()
+        # Generous horizon: stacked RTO backoffs can stretch recovery.
+        harness.run(12.0)
+        if losses:
+            assert harness.sender.cumack >= max(losses)

@@ -1,0 +1,135 @@
+"""TCP receiver: cumulative ACKs, dup ACKs, delayed ACKs, echo rules."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.tcp import TCPConfig, TCPReceiver
+
+from tests.sim.tcp_harness import WireNode
+
+
+@pytest.fixture
+def setup(sim):
+    """A receiver on a wire node; sent ACKs are captured, not delivered."""
+    node = WireNode(sim, 1)
+    node.connect(WireNode(sim, 0), 0.01)
+
+    def make(config=None):
+        return TCPReceiver(sim, node, flow_id=1, sender_node_id=0,
+                           config=config or TCPConfig(delayed_ack=1))
+
+    return sim, node, make
+
+
+def data(seq, sent_at=0.0, retransmit=False):
+    return Packet(PacketKind.DATA, flow_id=1, src=0, dst=1,
+                  size_bytes=1500.0, seq=seq, sent_at=sent_at,
+                  retransmit=retransmit)
+
+
+def acks(node):
+    return [p for p in node.sent if p.kind is PacketKind.ACK]
+
+
+class TestInOrder:
+    def test_each_segment_acked_immediately_d1(self, setup):
+        sim, node, make = setup
+        receiver = make()
+        for seq in range(4):
+            receiver.receive(data(seq))
+        assert [p.ack for p in acks(node)] == [0, 1, 2, 3]
+
+    def test_delayed_ack_every_other_segment(self, setup):
+        sim, node, make = setup
+        receiver = make(TCPConfig(delayed_ack=2))
+        for seq in range(4):
+            receiver.receive(data(seq))
+        assert [p.ack for p in acks(node)] == [1, 3]
+
+    def test_delack_timer_flushes_odd_segment(self, setup):
+        sim, node, make = setup
+        receiver = make(TCPConfig(delayed_ack=2, delack_timeout=0.1))
+        receiver.receive(data(0))
+        assert acks(node) == []
+        sim.run(until=0.2)
+        assert [p.ack for p in acks(node)] == [0]
+
+    def test_bytes_received_counted(self, setup):
+        _sim, _node, make = setup
+        receiver = make()
+        for seq in range(3):
+            receiver.receive(data(seq))
+        assert receiver.bytes_received == 3 * 1460
+
+
+class TestOutOfOrder:
+    def test_gap_produces_duplicate_acks(self, setup):
+        sim, node, make = setup
+        receiver = make()
+        receiver.receive(data(0))
+        receiver.receive(data(2))
+        receiver.receive(data(3))
+        receiver.receive(data(4))
+        # ACK 0, then three dup ACKs of 0.
+        assert [p.ack for p in acks(node)] == [0, 0, 0, 0]
+
+    def test_fill_hole_acks_cumulatively(self, setup):
+        sim, node, make = setup
+        receiver = make()
+        for seq in (0, 2, 3, 1):
+            receiver.receive(data(seq))
+        assert acks(node)[-1].ack == 3
+
+    def test_partial_fill_acks_next_hole(self, setup):
+        sim, node, make = setup
+        receiver = make()
+        for seq in (0, 2, 4, 1):
+            receiver.receive(data(seq))
+        # After 1 arrives, 0-2 contiguous but 3 missing.
+        assert acks(node)[-1].ack == 2
+
+    def test_duplicate_data_reacked(self, setup):
+        sim, node, make = setup
+        receiver = make()
+        receiver.receive(data(0))
+        receiver.receive(data(0))
+        assert receiver.duplicate_segments == 1
+        assert [p.ack for p in acks(node)] == [0, 0]
+
+    def test_buffered_duplicate_detected(self, setup):
+        _sim, node, make = setup
+        receiver = make()
+        receiver.receive(data(0))
+        receiver.receive(data(5))
+        receiver.receive(data(5))
+        assert receiver.duplicate_segments == 1
+
+
+class TestTimestampEcho:
+    def test_fresh_segment_timestamp_echoed(self, setup):
+        _sim, node, make = setup
+        receiver = make()
+        receiver.receive(data(0, sent_at=1.25))
+        assert acks(node)[0].sent_at == 1.25
+
+    def test_retransmitted_segment_not_echoed(self, setup):
+        _sim, node, make = setup
+        receiver = make()
+        receiver.receive(data(0, sent_at=1.25, retransmit=True))
+        assert acks(node)[0].sent_at == -1.0
+
+    def test_dup_ack_not_echoed(self, setup):
+        _sim, node, make = setup
+        receiver = make()
+        receiver.receive(data(0, sent_at=1.0))
+        receiver.receive(data(5, sent_at=2.0))
+        assert acks(node)[1].sent_at == -1.0
+
+    def test_non_data_packets_ignored(self, setup):
+        _sim, node, make = setup
+        receiver = make()
+        receiver.receive(Packet(PacketKind.ATTACK, flow_id=1, src=0, dst=1,
+                                size_bytes=1500.0))
+        assert receiver.segments_received == 0
+        assert acks(node) == []

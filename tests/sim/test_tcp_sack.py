@@ -1,0 +1,185 @@
+"""TCP SACK: scoreboard, receiver blocks, and sender recovery."""
+
+import pytest
+
+from repro.sim.tcp import TCPConfig, TCPVariant
+from repro.sim.tcp.sack import DUP_THRESHOLD, Scoreboard, sack_blocks_from_set
+
+from tests.sim.tcp_harness import TCPHarness
+
+
+def sack_config(**overrides):
+    params = dict(
+        variant=TCPVariant.SACK,
+        delayed_ack=1,
+        min_rto=0.2,
+        initial_rto=0.3,
+        initial_cwnd=16.0,
+        initial_ssthresh=64.0,
+    )
+    params.update(overrides)
+    return TCPConfig(**params)
+
+
+class TestSackBlocks:
+    def test_empty_set(self):
+        assert sack_blocks_from_set(set()) == ()
+
+    def test_single_run(self):
+        assert sack_blocks_from_set({5, 6, 7}) == ((5, 7),)
+
+    def test_multiple_runs_highest_first(self):
+        blocks = sack_blocks_from_set({3, 4, 8, 12, 13})
+        assert blocks == ((12, 13), (8, 8), (3, 4))
+
+    def test_caps_at_three_blocks(self):
+        blocks = sack_blocks_from_set({1, 3, 5, 7, 9})
+        assert len(blocks) == 3
+        assert blocks[0] == (9, 9)
+
+    def test_singleton(self):
+        assert sack_blocks_from_set({42}) == ((42, 42),)
+
+
+class TestScoreboard:
+    def test_record_and_query(self):
+        board = Scoreboard()
+        added = board.record([(5, 7)], cumack=2)
+        assert added == 3
+        assert board.is_sacked(6)
+        assert not board.is_sacked(4)
+
+    def test_advance_forgets_covered(self):
+        board = Scoreboard()
+        board.record([(5, 7)], cumack=2)
+        board.advance(6)
+        assert not board.is_sacked(5)
+        assert board.is_sacked(7)
+
+    def test_is_lost_needs_dupthresh_above(self):
+        board = Scoreboard()
+        board.record([(6, 7)], cumack=4)
+        assert not board.is_lost(5)   # only 2 SACKed above
+        board.record([(9, 9)], cumack=4)
+        assert board.is_lost(5)       # now 3 above
+        assert not board.is_lost(6)   # SACKed segments are not lost
+
+    def test_dup_threshold_constant(self):
+        assert DUP_THRESHOLD == 3
+
+    def test_next_lost_hole_ordering(self):
+        board = Scoreboard()
+        board.record([(6, 6), (8, 8), (10, 10), (12, 12)], cumack=4)
+        assert board.next_lost_hole(cumack=4, highest_sent=12) == 5
+        board.mark_retransmitted(5)
+        assert board.next_lost_hole(cumack=4, highest_sent=12) == 7
+
+    def test_pipe_accounting(self):
+        board = Scoreboard()
+        # sent 5..12 (8 outstanding), 6,8,10 SACKed.
+        board.record([(6, 6), (8, 8), (10, 10)], cumack=4)
+        # 5 is lost (3 SACKed above); 7 has only two above, so it still
+        # counts as in flight, as do 9, 11, 12.
+        pipe = board.pipe(cumack=4, highest_sent=12)
+        assert pipe == 8 - 3 - 1
+        board.mark_retransmitted(5)
+        assert board.pipe(cumack=4, highest_sent=12) == 8 - 3
+
+    def test_reset(self):
+        board = Scoreboard()
+        board.record([(5, 9)], cumack=2)
+        board.mark_retransmitted(4)
+        board.reset()
+        assert board.sacked_count == 0
+        assert not board.was_retransmitted(4)
+
+
+class TestSackReceiver:
+    def test_dup_acks_carry_blocks(self):
+        h = TCPHarness(sack_config())
+        h.drop_seqs({5})
+        h.start()
+        h.run(1.0)
+        sacked = [p for p in h.receiver_node.sent
+                  if p.ack is not None and p.sack]
+        assert sacked, "expected SACK blocks on duplicate ACKs"
+        # Every block starts above the hole.
+        for packet in sacked:
+            assert all(start > 5 for start, _end in packet.sack
+                       if packet.ack == 4)
+
+    def test_non_sack_variant_sends_no_blocks(self):
+        h = TCPHarness(TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=1,
+                                 initial_rto=0.3, initial_cwnd=16.0))
+        h.drop_seqs({5})
+        h.start()
+        h.run(1.0)
+        assert all(not p.sack for p in h.receiver_node.sent)
+
+
+class TestSackSender:
+    def test_lossless_transfer(self):
+        h = TCPHarness(sack_config())
+        h.start()
+        h.run(5.0)
+        assert h.sender.retransmissions == 0
+        assert h.sender.timeouts == 0
+        assert h.sender.acked_segments > 1000
+
+    def test_single_loss_single_retransmission(self):
+        h = TCPHarness(sack_config())
+        h.drop_seqs({20})
+        h.start()
+        h.run(2.0)
+        assert h.sender.fast_retransmits == 1
+        assert h.sender.timeouts == 0
+        assert h.sender.retransmissions == 1
+        assert h.sender.cumack > 20
+
+    def test_scattered_losses_one_episode(self):
+        """SACK's signature: many holes repaired in one recovery."""
+        h = TCPHarness(sack_config())
+        h.drop_seqs({20, 22, 24, 26})
+        h.start()
+        h.run(3.0)
+        assert h.sender.fast_retransmits == 1
+        assert h.sender.timeouts == 0
+        assert h.sender.retransmissions == 4  # exactly the lost segments
+        assert h.sender.cumack > 26
+
+    def test_window_halves_once_per_episode(self):
+        h = TCPHarness(sack_config(initial_cwnd=20.0, initial_ssthresh=20.0))
+        h.drop_seqs({30, 32, 34})
+        h.start()
+        h.run(3.0)
+        # One multiplicative decrease for the whole burst of losses.
+        assert h.sender.ssthresh >= 0.5 * 20.0 - 3.0
+
+    def test_outperforms_newreno_under_scattered_loss(self):
+        """SACK repairs k losses in ~1 RTT; NewReno needs ~k RTTs."""
+        goodput = {}
+        for variant in (TCPVariant.SACK, TCPVariant.NEWRENO):
+            h = TCPHarness(sack_config(variant=variant), one_way=0.1)
+            h.drop_seqs({30, 33, 36, 39, 42, 45})
+            h.start()
+            h.run(4.0)
+            goodput[variant] = h.sender.acked_segments
+        assert goodput[TCPVariant.SACK] >= goodput[TCPVariant.NEWRENO]
+
+    def test_full_window_loss_still_times_out(self):
+        h = TCPHarness(sack_config(initial_cwnd=4.0))
+        h.drop_seqs({0, 1, 2, 3})
+        h.start()
+        h.run(5.0)
+        assert h.sender.timeouts >= 1
+        assert h.sender.acked_segments > 50  # recovers afterwards
+
+    def test_scoreboard_cleared_after_timeout(self):
+        h = TCPHarness(sack_config(initial_cwnd=4.0))
+        h.drop_seqs({0, 1, 2, 3})
+        h.start()
+        h.run(5.0)
+        # After full recovery nothing stale may linger below cumack.
+        assert h.sender.scoreboard.pipe(
+            h.sender.cumack, h.sender.highest_sent
+        ) >= 0

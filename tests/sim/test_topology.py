@@ -1,0 +1,153 @@
+"""The Fig. 5 dumbbell builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.sim.queues import DropTailQueue, REDQueue
+from repro.sim.topology import (
+    DumbbellConfig,
+    build_dumbbell,
+    make_droptail_queue,
+    make_red_queue,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.units import mbps, ms
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = DumbbellConfig()
+        assert config.access_rate_bps == mbps(50)
+        assert config.bottleneck_rate_bps == mbps(15)
+        assert config.rtt_min == ms(20)
+        assert config.rtt_max == ms(460)
+
+    def test_flow_rtts_span_range(self):
+        config = DumbbellConfig(n_flows=10)
+        rtts = config.flow_rtts()
+        assert rtts[0] == pytest.approx(ms(20))
+        assert rtts[-1] == pytest.approx(ms(460))
+        assert len(rtts) == 10
+        assert np.all(np.diff(rtts) > 0)
+
+    def test_single_flow_gets_mean_rtt(self):
+        config = DumbbellConfig(n_flows=1)
+        assert config.flow_rtts()[0] == pytest.approx(ms(240))
+
+    def test_zero_flows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DumbbellConfig(n_flows=0)
+
+    def test_inverted_rtt_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DumbbellConfig(rtt_min=ms(100), rtt_max=ms(50))
+
+    def test_rtt_too_small_for_fixed_delay(self):
+        with pytest.raises(ConfigurationError, match="RTT"):
+            build_dumbbell(DumbbellConfig(rtt_min=ms(5), rtt_max=ms(100)))
+
+
+class TestConstruction:
+    def test_queue_factories(self):
+        red_net = build_dumbbell(DumbbellConfig(queue_factory=make_red_queue))
+        dt_net = build_dumbbell(
+            DumbbellConfig(queue_factory=make_droptail_queue)
+        )
+        assert isinstance(red_net.bottleneck_queue, REDQueue)
+        assert isinstance(dt_net.bottleneck_queue, DropTailQueue)
+
+    def test_red_thresholds_from_buffer(self):
+        net = build_dumbbell(DumbbellConfig(buffer_bytes=100 * 1500.0))
+        queue = net.bottleneck_queue
+        assert queue.min_th == pytest.approx(20.0)   # 0.2 * 100 pkts
+        assert queue.max_th == pytest.approx(80.0)
+        assert queue.gentle
+
+    def test_node_count(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=5))
+        assert len(net.sender_nodes) == 5
+        assert len(net.receiver_nodes) == 5
+        assert net.attacker_node.node_id == 12
+        assert net.attack_sink_node.node_id == 13
+
+    def test_data_reaches_receivers(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=3))
+        net.start_flows(stagger=0.0)
+        net.run(until=3.0)
+        for receiver in net.receivers:
+            assert receiver.segments_received > 0
+
+    def test_goodput_snapshot_shape(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=4))
+        net.start_flows()
+        net.run(until=2.0)
+        snapshot = net.goodput_snapshot()
+        assert snapshot.shape == (4,)
+        assert snapshot.sum() == net.aggregate_goodput_bytes()
+
+
+class TestAttackPath:
+    def test_attack_traverses_bottleneck(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=2))
+        seen = []
+        net.bottleneck.monitors.append(
+            lambda pkt, now, ok: seen.append(pkt) if pkt.is_attack else None
+        )
+        train = PulseTrain.uniform(0.02, mbps(20), 0.0, n_pulses=1)
+        net.add_attack(train).start()
+        net.run(until=1.0)
+        assert len(seen) > 0
+
+    def test_attack_packets_terminate_at_sink(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=2))
+        train = PulseTrain.uniform(0.02, mbps(20), 0.0, n_pulses=1)
+        source = net.add_attack(train)
+        source.start()
+        net.run(until=1.0)
+        assert net.attack_sink_node.undeliverable == 0
+        assert net.router_r.undeliverable == 0
+
+    def test_multiple_attacks_get_distinct_flows(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=2))
+        train = PulseTrain.uniform(0.02, mbps(20), 0.0, n_pulses=1)
+        first = net.add_attack(train)
+        second = net.add_attack(train)
+        assert first.flow_id != second.flow_id
+
+    def test_attack_degrades_goodput(self):
+        def run(with_attack):
+            net = build_dumbbell(DumbbellConfig(n_flows=5, seed=9))
+            net.start_flows()
+            net.run(until=5.0)
+            before = net.aggregate_goodput_bytes()
+            if with_attack:
+                train = PulseTrain.uniform(ms(100), mbps(30), ms(200),
+                                           n_pulses=40)
+                net.add_attack(train, start_time=5.0).start()
+            net.run(until=15.0)
+            return net.aggregate_goodput_bytes() - before
+
+        clean = run(False)
+        attacked = run(True)
+        assert attacked < 0.7 * clean
+
+
+class TestRTTRealization:
+    def test_measured_rtt_matches_configuration(self, ):
+        """The built topology must realize the configured propagation RTT."""
+        config = DumbbellConfig(n_flows=3)
+        net = build_dumbbell(config)
+        rtts = config.flow_rtts()
+        for i in range(3):
+            forward = (
+                net.sender_links[i].delay
+                + net.bottleneck.delay
+                + net.receiver_links[i].delay
+            )
+            reverse = (
+                net.receiver_return_links[i].delay
+                + net.reverse_bottleneck.delay
+                + net.sender_return_links[i].delay
+            )
+            assert forward + reverse == pytest.approx(rtts[i])

@@ -1,0 +1,114 @@
+"""ns-2-style trace writing and parsing."""
+
+import io
+
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.sim.tracefile import TraceRecord, TraceWriter, read_trace
+from repro.sim.packet import PacketKind
+from repro.sim.topology import DumbbellConfig, build_dumbbell
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """A short attacked run with the bottleneck traced."""
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    net = build_dumbbell(DumbbellConfig(n_flows=3, seed=2))
+    writer.attach(net.bottleneck)
+    net.start_flows()
+    train = PulseTrain.uniform(ms(50), mbps(30), ms(450), n_pulses=6)
+    net.add_attack(train, start_time=1.0).start()
+    net.run(until=4.0)
+    writer.close()
+    return buffer.getvalue(), net, writer
+
+
+class TestWriter:
+    def test_lines_written(self, traced_run):
+        text, _net, writer = traced_run
+        assert writer.lines_written > 100
+        assert writer.lines_written == len(text.strip().splitlines())
+
+    def test_line_format(self, traced_run):
+        text, _net, _writer = traced_run
+        fields = text.splitlines()[0].split()
+        assert len(fields) == 12
+        assert fields[0] in ("+", "d")
+        assert fields[6] == "-------"
+
+    def test_drop_lines_match_link_stats(self, traced_run):
+        text, net, _writer = traced_run
+        drops = sum(1 for line in text.splitlines() if line.startswith("d"))
+        assert drops == net.bottleneck.packets_dropped
+
+
+class TestRoundTrip:
+    def test_parse_back(self, traced_run):
+        text, _net, writer = traced_run
+        records = read_trace(io.StringIO(text))
+        assert len(records) == writer.lines_written
+        assert all(isinstance(r, TraceRecord) for r in records)
+
+    def test_times_monotone(self, traced_run):
+        text, _net, _writer = traced_run
+        times = [r.time for r in read_trace(io.StringIO(text))]
+        assert times == sorted(times)
+
+    def test_attack_packets_typed(self, traced_run):
+        text, _net, _writer = traced_run
+        records = read_trace(io.StringIO(text))
+        kinds = {r.kind for r in records}
+        assert PacketKind.DATA in kinds
+        assert PacketKind.ATTACK in kinds
+
+    def test_endpoints_are_routers(self, traced_run):
+        text, _net, _writer = traced_run
+        records = read_trace(io.StringIO(text))
+        assert all(r.from_node == 0 and r.to_node == 1 for r in records)
+
+    def test_seq_preserved(self, traced_run):
+        text, _net, _writer = traced_run
+        data = [r for r in read_trace(io.StringIO(text))
+                if r.kind is PacketKind.DATA]
+        assert all(r.seq is not None and r.seq >= 0 for r in data)
+
+    def test_dropped_property(self):
+        record = read_trace(["d 1.0 0 1 tcp 1500 ------- 3 2.0 5.0 7 99"])[0]
+        assert record.dropped
+        assert record.flow_id == 3
+        assert record.uid == 99
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", "+ 1.0 0 1 ack 40 ------- 1 5.0 2.0 -1 7"]
+        records = read_trace(lines)
+        assert len(records) == 1
+        assert records[0].seq is None
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValidationError, match="12 fields"):
+            read_trace(["+ 1.0 0 1 tcp"])
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValidationError, match="event"):
+            read_trace(["? 1.0 0 1 tcp 1500 ------- 1 0.0 1.0 5 9"])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError, match="type"):
+            read_trace(["+ 1.0 0 1 quic 1500 ------- 1 0.0 1.0 5 9"])
+
+
+class TestFileOwnership:
+    def test_to_path(self, tmp_path):
+        path = tmp_path / "run.tr"
+        writer = TraceWriter.to_path(path)
+        net = build_dumbbell(DumbbellConfig(n_flows=1, seed=3))
+        writer.attach(net.bottleneck)
+        net.start_flows(stagger=0.0)
+        net.run(until=1.0)
+        writer.close()
+        records = read_trace(str(path))
+        assert records

@@ -1,0 +1,165 @@
+"""Finite transfers and the short-flow workload."""
+
+import pytest
+
+from repro.sim.tcp import TCPConfig, TCPVariant
+from repro.sim.topology import DumbbellConfig, build_dumbbell
+from repro.sim.workload import ShortFlowWorkload
+from repro.util.errors import ConfigurationError
+from repro.util.units import ms
+
+from tests.sim.tcp_harness import TCPHarness
+from repro.sim.tcp import TCPSender, TCPReceiver
+
+
+def finite_config(**overrides):
+    params = dict(variant=TCPVariant.NEWRENO, delayed_ack=1, min_rto=0.2,
+                  initial_rto=0.3, initial_cwnd=4.0)
+    params.update(overrides)
+    return TCPConfig(**params)
+
+
+class TestFiniteTransfers:
+    def make(self, size, losses=(), one_way=0.05, config=None):
+        harness = TCPHarness(config or finite_config(), one_way=one_way)
+        # Replace the bulk sender with a finite one on the same wire.
+        harness.sender = TCPSender(
+            harness.sim, harness.sender_node, flow_id=2,
+            receiver_node_id=1, config=harness.config,
+            transfer_segments=size,
+        )
+        harness.receiver = TCPReceiver(
+            harness.sim, harness.receiver_node, flow_id=2,
+            sender_node_id=0, config=harness.config,
+        )
+        if losses:
+            pending = set(losses)
+
+            def drop(packet):
+                if (packet.flow_id == 2 and packet.seq in pending
+                        and not packet.retransmit):
+                    pending.discard(packet.seq)
+                    return True
+                return False
+
+            harness.sender_node.drop_filter = drop
+        return harness
+
+    def test_transfer_completes_exactly(self):
+        h = self.make(size=25)
+        h.sender.start()
+        h.run(5.0)
+        assert h.sender.completed
+        assert h.sender.acked_segments == 25
+        assert h.sender.segments_sent == 25  # no spurious extras
+
+    def test_completion_time_positive(self):
+        h = self.make(size=25)
+        h.sender.start()
+        h.run(5.0)
+        fct = h.sender.completion_time()
+        assert fct is not None
+        # At least two RTTs (slow start from cwnd 4 over 25 segments).
+        assert fct >= 2 * h.rtt
+
+    def test_loss_delays_completion(self):
+        clean = self.make(size=25)
+        clean.sender.start()
+        clean.run(10.0)
+        lossy = self.make(size=25, losses={24})  # final segment lost: RTO
+        lossy.sender.start()
+        lossy.run(10.0)
+        assert lossy.sender.completed
+        assert lossy.sender.completion_time() > clean.sender.completion_time()
+
+    def test_on_complete_callback(self):
+        fired = []
+        h = self.make(size=10)
+        h.sender.on_complete = fired.append
+        h.sender.start()
+        h.run(5.0)
+        assert fired == [h.sender]
+
+    def test_incomplete_reports_none(self):
+        h = self.make(size=10_000)
+        h.sender.start()
+        h.run(0.3)
+        assert not h.sender.completed
+        assert h.sender.completion_time() is None
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(size=0)
+
+    def test_sack_variant_finite(self):
+        h = self.make(size=40, losses={10, 12},
+                      config=finite_config(variant=TCPVariant.SACK,
+                                           initial_cwnd=8.0))
+        h.sender.start()
+        h.run(8.0)
+        assert h.sender.completed
+        assert h.sender.acked_segments == 40
+
+
+class TestShortFlowWorkload:
+    def run_workload(self, horizon=15.0, **kwargs):
+        net = build_dumbbell(DumbbellConfig(n_flows=2, seed=4))
+        src, dst = net.add_host_pair(rtt=ms(100))
+        params = dict(mean_size_segments=10.0, mean_interarrival=0.3, seed=5)
+        params.update(kwargs)
+        workload = ShortFlowWorkload(net.sim, src, dst, **params)
+        net.start_flows()
+        workload.start()
+        net.run(until=horizon)
+        workload.finalize()
+        return workload
+
+    def test_flows_launch_and_complete(self):
+        workload = self.run_workload()
+        assert workload.launched > 20
+        assert len(workload.completed_records()) > 0.8 * workload.launched
+
+    def test_records_cover_all_launches(self):
+        workload = self.run_workload()
+        assert len(workload.records) == workload.launched
+
+    def test_unique_flow_ids(self):
+        workload = self.run_workload()
+        ids = [r.flow_id for r in workload.records]
+        assert len(set(ids)) == len(ids)
+
+    def test_percentiles_ordered(self):
+        workload = self.run_workload()
+        p = workload.fct_percentiles((50, 90, 99))
+        assert p[50] <= p[90] <= p[99]
+
+    def test_max_flows_bounds_launches(self):
+        workload = self.run_workload(max_flows=5)
+        assert workload.launched == 5
+
+    def test_start_idempotent(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=1, seed=4))
+        src, dst = net.add_host_pair()
+        workload = ShortFlowWorkload(net.sim, src, dst, max_flows=3,
+                                     mean_interarrival=0.1)
+        workload.start()
+        workload.start()
+        net.run(until=5.0)
+        assert workload.launched == 3
+
+
+class TestHostPair:
+    def test_rtt_too_small_rejected(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=1))
+        with pytest.raises(ConfigurationError):
+            net.add_host_pair(rtt=ms(5))
+
+    def test_pair_is_routable_both_ways(self):
+        net = build_dumbbell(DumbbellConfig(n_flows=1, seed=4))
+        src, dst = net.add_host_pair(rtt=ms(80))
+        sender = TCPSender(net.sim, src, 777, receiver_node_id=dst.node_id,
+                           transfer_segments=5)
+        TCPReceiver(net.sim, dst, 777, sender_node_id=src.node_id)
+        sender.start()
+        net.run(until=3.0)
+        assert sender.completed

@@ -1,0 +1,48 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_listed(self):
+        expected = {
+            "fig01", "fig02", "fig03a", "fig03b", "fig04", "fig06", "fig07",
+            "fig08", "fig09", "fig10", "fig12", "ablation-queues",
+            "ablation-model", "ablation-victim", "flow-damage", "detection",
+            "defense-rto", "defense-choke", "replication", "distributed", "mice-elephants",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["fig04", "--full"])
+        assert args.full
+
+    def test_output_dir(self, tmp_path):
+        args = build_parser().parse_args(["fig04", "-o", str(tmp_path)])
+        assert args.output_dir == tmp_path
+
+
+class TestMain:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_runs_analytic_experiment(self, capsys, tmp_path):
+        assert main(["fig04", "-o", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "risk" in out
+        assert (tmp_path / "fig04.txt").exists()
+
+    def test_full_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        import os
+        main(["fig04", "--full"])
+        assert os.environ.get("REPRO_FULL") == "1"

@@ -1,0 +1,70 @@
+"""Iperf-like interval reporting."""
+
+import pytest
+
+from repro.testbed.dummynet import TestbedConfig, build_testbed
+from repro.testbed.iperf import IperfClient, IperfReport
+
+
+class TestIperfReport:
+    def test_format_line(self):
+        report = IperfReport(start=0.0, end=1.0, transferred_bytes=1_250_000,
+                             bandwidth_bps=10e6)
+        line = report.format_line()
+        assert "1.25 MBytes" in line
+        assert "10.00 Mbits/sec" in line
+
+    def test_fields(self):
+        report = IperfReport(2.0, 3.0, 500.0, 4000.0)
+        assert report.end - report.start == 1.0
+
+
+class TestIperfClient:
+    def test_interval_reports_accumulate(self):
+        net = build_testbed(TestbedConfig(n_flows=2))
+        client = IperfClient(net.senders[0], interval=1.0)
+        client.start()
+        net.senders[1].start()
+        net.run(until=10.0)
+        assert len(client.reports) >= 9
+        for report in client.reports:
+            assert report.end - report.start == pytest.approx(1.0)
+
+    def test_summary_totals_intervals(self):
+        net = build_testbed(TestbedConfig(n_flows=2))
+        client = IperfClient(net.senders[0], interval=1.0)
+        client.start()
+        net.senders[1].start()
+        net.run(until=8.0)
+        summary = client.summary()
+        assert summary.transferred_bytes == pytest.approx(
+            sum(r.transferred_bytes for r in client.reports)
+        )
+        assert summary.end > summary.start
+
+    def test_bandwidth_consistent_with_goodput(self):
+        net = build_testbed(TestbedConfig(n_flows=1))
+        client = IperfClient(net.senders[0], interval=1.0)
+        client.start()
+        net.run(until=10.0)
+        total = client.summary().transferred_bytes
+        # Goodput at the last tick may slightly exceed the reported total
+        # (data delivered after the final interval boundary).
+        assert total <= net.senders[0].goodput_bytes()
+        assert total > 0
+
+    def test_empty_summary(self):
+        net = build_testbed(TestbedConfig(n_flows=1))
+        client = IperfClient(net.senders[0])
+        summary = client.summary()
+        assert summary.transferred_bytes == 0.0
+        assert summary.bandwidth_bps == 0.0
+
+    def test_start_idempotent(self):
+        net = build_testbed(TestbedConfig(n_flows=1))
+        client = IperfClient(net.senders[0], interval=1.0)
+        client.start()
+        client.start()
+        net.run(until=3.0)
+        # One reporting chain only: one report per second.
+        assert len(client.reports) <= 3

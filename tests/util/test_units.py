@@ -1,0 +1,71 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.util.units import (
+    BITS_PER_BYTE,
+    bits_to_bytes,
+    bytes_to_bits,
+    gbps,
+    kbps,
+    mbps,
+    ms,
+    seconds_to_ms,
+    transmission_delay,
+    us,
+)
+
+
+class TestRates:
+    def test_mbps(self):
+        assert mbps(15) == 15_000_000.0
+
+    def test_gbps(self):
+        assert gbps(1) == 1_000_000_000.0
+
+    def test_kbps(self):
+        assert kbps(64) == 64_000.0
+
+    def test_fractional_mbps(self):
+        assert mbps(2.5) == 2_500_000.0
+
+
+class TestTimes:
+    def test_ms(self):
+        assert ms(50) == 0.05
+
+    def test_us(self):
+        assert us(500) == pytest.approx(0.0005)
+
+    def test_seconds_to_ms_roundtrip(self):
+        assert seconds_to_ms(ms(123)) == pytest.approx(123)
+
+
+class TestSizes:
+    def test_bits_per_byte(self):
+        assert BITS_PER_BYTE == 8
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(1500) == 12_000
+
+    def test_bits_to_bytes_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(1234.5)) == pytest.approx(1234.5)
+
+
+class TestTransmissionDelay:
+    def test_known_value(self):
+        # 1500 B over 15 Mb/s = 0.8 ms
+        assert transmission_delay(1500, 15e6) == pytest.approx(0.0008)
+
+    def test_scales_inversely_with_rate(self):
+        slow = transmission_delay(1000, 1e6)
+        fast = transmission_delay(1000, 2e6)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_delay(1000, 0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_delay(1000, -5.0)
