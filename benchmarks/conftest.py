@@ -17,6 +17,28 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True)
+def fresh_runner():
+    """A fresh default ExperimentRunner per bench.
+
+    Installing a new runner isolates each bench's in-process memo (so
+    one bench cannot serve another's cells and skew its timing) while
+    still honouring ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` from the
+    environment.  Yields the runner so benches can report cache stats.
+    """
+    import os
+
+    from repro.runner import ExperimentRunner, set_default_runner
+
+    runner = ExperimentRunner(
+        jobs=int(os.environ.get("REPRO_JOBS", "1") or 1),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+    previous = set_default_runner(runner)
+    yield runner
+    set_default_runner(previous)
+
+
 @pytest.fixture
 def record_result():
     """Print a rendered experiment and archive it under results/."""

@@ -1,0 +1,71 @@
+"""Bench: the parallel, cached experiment runner itself.
+
+Times one representative multi-cell sweep batch three ways -- executed
+serially, executed with worker processes, and replayed from a warm disk
+cache -- and archives the comparison.  The checks encode the runner's
+two contracts:
+
+* results are bit-identical across serial, parallel, and cached
+  resolution (determinism is the whole point of cell-level seeding);
+* a warm cache replays the batch at least 5x faster than executing it.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.base import (
+    DumbbellPlatform,
+    plan_gain_sweep,
+    run_gain_sweeps,
+)
+from repro.runner import ExperimentRunner
+from repro.util.units import mbps, ms
+
+GAMMAS = (0.3, 0.5, 0.7, 0.9)
+
+
+def _plan():
+    return plan_gain_sweep(
+        DumbbellPlatform(n_flows=5, seed=42),
+        rate_bps=mbps(30), extent=ms(100), gammas=GAMMAS,
+        warmup=2.0, window=6.0, label="runner-bench",
+    )
+
+
+def _sweep_with(runner):
+    started = time.perf_counter()
+    curve = run_gain_sweeps([_plan()], runner=runner)[0]
+    return curve, time.perf_counter() - started
+
+
+def test_runner_parallel_and_cached(benchmark, record_result, tmp_path):
+    serial, serial_wall = _sweep_with(ExperimentRunner(jobs=1))
+
+    parallel, parallel_wall = run_once(
+        benchmark, _sweep_with, ExperimentRunner(jobs=4)
+    )
+
+    warm = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+    _sweep_with(warm)  # populate the cache
+    cached, cached_wall = _sweep_with(
+        ExperimentRunner(jobs=1, cache_dir=tmp_path)
+    )
+
+    rows = [
+        "Runner bench -- one 4-gamma sweep (5 flows, 8 s/cell) resolved "
+        "three ways",
+        f"{'mode':<12} {'wall':>8}",
+        f"{'serial':<12} {serial_wall:>7.2f}s",
+        f"{'jobs=4':<12} {parallel_wall:>7.2f}s",
+        f"{'cached':<12} {cached_wall:>7.2f}s "
+        f"({serial_wall / max(cached_wall, 1e-9):.0f}x)",
+    ]
+    record_result("runner", "\n".join(rows))
+
+    for other in (parallel, cached):
+        assert [p.measured_degradation for p in other.points] == [
+            p.measured_degradation for p in serial.points
+        ]
+    assert serial_wall >= 5.0 * cached_wall

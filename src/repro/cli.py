@@ -13,6 +13,11 @@ Examples::
 ``--full`` sets ``REPRO_FULL=1`` for the invocation (paper-scale
 sweeps); ``-o DIR`` additionally writes each rendering to
 ``DIR/<name>.txt``.
+
+``--jobs N`` fans independent measurement cells out over N worker
+processes; ``--cache-dir DIR`` / ``--no-cache`` control the on-disk
+result cache (default: ``$XDG_CACHE_HOME/repro-pdos``).  Results are
+bit-identical regardless of job count or cache state.
 """
 
 from __future__ import annotations
@@ -180,15 +185,44 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output-dir", type=pathlib.Path, default=None,
         help="also write each rendering to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="run independent measurement cells on N worker processes "
+             "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR, else "
+             "$XDG_CACHE_HOME/repro-pdos)",
+    )
     return parser
 
 
-def _run_one(name: str, output_dir) -> None:
+def _make_runner(args):  # deferred import keeps `--help` fast
+    from repro.runner import ExperimentRunner, default_cache_dir
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = default_cache_dir()
+    return ExperimentRunner(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def _run_one(name: str, output_dir, runner=None) -> None:
     started = time.time()
+    mark = runner.stats.checkpoint() if runner is not None else None
     text = EXPERIMENTS[name]()
     elapsed = time.time() - started
     print(text)
-    print(f"[{name}: {elapsed:.1f}s]\n")
+    if mark is not None:
+        print(f"[{name}: {elapsed:.1f}s; {runner.stats.since(mark)}]\n")
+    else:
+        print(f"[{name}: {elapsed:.1f}s]\n")
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
         (output_dir / f"{name}.txt").write_text(text + "\n")
@@ -202,9 +236,13 @@ def main(argv=None) -> int:
         return 0
     if args.full:
         os.environ["REPRO_FULL"] = "1"
+    from repro.runner import set_default_runner
+    runner = _make_runner(args)
+    set_default_runner(runner)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, args.output_dir)
+        _run_one(name, args.output_dir, runner)
+    print(f"[total: {runner.stats.summary()}]")
     return 0
 
 

@@ -86,6 +86,24 @@ class PulseTrain:
         return cls.uniform(duration, rate_bps, 0.0, 1)
 
     @classmethod
+    def period_from_gamma(cls, *, gamma: float, rate_bps: float, extent: float,
+                          bottleneck_bps: float) -> float:
+        """The realized T_AIMD of the Eq.-(4) inversion, seconds.
+
+        ``T_AIMD = R_attack T_extent / (γ R_bottle)``, clamped below at
+        ``T_extent`` (a pulse cannot overlap its successor; the clamp
+        corresponds to ``T_space = 0``, i.e. γ = C_attack).  This is the
+        single source of truth for the period of a :meth:`from_gamma`
+        train -- callers sizing ``n_pulses`` to cover a measurement
+        window must use it rather than re-deriving Eq. (4) inline.
+        """
+        check_positive("gamma", gamma)
+        check_positive("rate_bps", rate_bps)
+        check_positive("extent", extent)
+        check_positive("bottleneck_bps", bottleneck_bps)
+        return max(rate_bps * extent / (gamma * bottleneck_bps), extent)
+
+    @classmethod
     def from_gamma(cls, *, gamma: float, rate_bps: float, extent: float,
                    bottleneck_bps: float, n_pulses: int) -> "PulseTrain":
         """Build the uniform train achieving a target normalized rate γ.
@@ -95,19 +113,18 @@ class PulseTrain:
         i.e. γ cannot exceed ``C_attack = R_attack / R_bottle``.
         """
         check_positive("gamma", gamma)
-        check_positive("rate_bps", rate_bps)
-        check_positive("extent", extent)
-        check_positive("bottleneck_bps", bottleneck_bps)
-        c_attack = rate_bps / bottleneck_bps
+        c_attack = rate_bps / check_positive("bottleneck_bps", bottleneck_bps)
         if gamma > c_attack + 1e-12:
             raise ValidationError(
                 f"gamma={gamma} unreachable: exceeds C_attack="
                 f"R_attack/R_bottle={c_attack:.4f} (need a lower duty cycle "
                 f"than a continuous pulse)"
             )
-        period = rate_bps * extent / (gamma * bottleneck_bps)
-        space = max(period - extent, 0.0)
-        return cls.uniform(extent, rate_bps, space, n_pulses)
+        period = cls.period_from_gamma(
+            gamma=gamma, rate_bps=rate_bps, extent=extent,
+            bottleneck_bps=bottleneck_bps,
+        )
+        return cls.uniform(extent, rate_bps, period - extent, n_pulses)
 
     @classmethod
     def from_mu(cls, *, mu: float, rate_bps: float, extent: float,

@@ -10,16 +10,15 @@ measured gains are compared point-wise.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
-
 import numpy as np
 
 from repro.experiments.base import (
     DumbbellPlatform,
     GainCurve,
     default_gammas,
+    plan_gain_sweep,
     render_curve_table,
-    run_gain_sweep,
+    run_gain_sweeps,
 )
 from repro.util.units import mbps, ms
 
@@ -63,12 +62,14 @@ def run_queue_ablation(
     """Run the paired sweep (same seed, same attack, both disciplines)."""
     if gammas is None:
         gammas = default_gammas()
-    red = run_gain_sweep(
-        DumbbellPlatform(n_flows=n_flows, queue="red", seed=500),
-        rate_bps=rate_bps, extent=extent, gammas=gammas, label="RED",
-    )
-    droptail = run_gain_sweep(
-        DumbbellPlatform(n_flows=n_flows, queue="droptail", seed=500),
-        rate_bps=rate_bps, extent=extent, gammas=gammas, label="DropTail",
-    )
+    red, droptail = run_gain_sweeps([
+        plan_gain_sweep(
+            DumbbellPlatform(n_flows=n_flows, queue="red", seed=500),
+            rate_bps=rate_bps, extent=extent, gammas=gammas, label="RED",
+        ),
+        plan_gain_sweep(
+            DumbbellPlatform(n_flows=n_flows, queue="droptail", seed=500),
+            rate_bps=rate_bps, extent=extent, gammas=gammas, label="DropTail",
+        ),
+    ])
     return QueueAblation(red=red, droptail=droptail)

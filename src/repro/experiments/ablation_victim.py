@@ -16,7 +16,7 @@ attack remains effective even against SACK.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
@@ -24,8 +24,9 @@ from repro.experiments.base import (
     DumbbellPlatform,
     GainCurve,
     default_gammas,
+    plan_gain_sweep,
     render_curve_table,
-    run_gain_sweep,
+    run_gain_sweeps,
 )
 from repro.sim.tcp import TCPConfig, TCPVariant
 from repro.util.units import mbps, ms
@@ -77,12 +78,15 @@ def run_victim_ablation(
     """Sweep the same attack against each victim variant (same seed)."""
     if gammas is None:
         gammas = default_gammas()
-    curves: Dict[TCPVariant, GainCurve] = {}
-    for variant in variants:
-        tcp = TCPConfig(variant=variant, delayed_ack=2, min_rto=1.0)
-        platform = DumbbellPlatform(n_flows=n_flows, seed=700, tcp=tcp)
-        curves[variant] = run_gain_sweep(
-            platform, rate_bps=rate_bps, extent=extent, gammas=gammas,
+    plans = [
+        plan_gain_sweep(
+            DumbbellPlatform(
+                n_flows=n_flows, seed=700,
+                tcp=TCPConfig(variant=variant, delayed_ack=2, min_rto=1.0),
+            ),
+            rate_bps=rate_bps, extent=extent, gammas=gammas,
             label=variant.value,
         )
-    return VictimAblation(curves=curves)
+        for variant in variants
+    ]
+    return VictimAblation(curves=dict(zip(variants, run_gain_sweeps(plans))))

@@ -31,15 +31,10 @@ from repro.core.classify import GainComparison, classify_gain
 from repro.core.gain import attack_gain
 from repro.core.shrew import flag_shrew_points, ShrewPoint
 from repro.core.throughput import VictimPopulation, c_psi
+from repro.runner import Cell, ExperimentRunner, PlatformSpec, get_default_runner
 from repro.sim.tcp import TCPConfig, TCPVariant
-from repro.sim.topology import (
-    DumbbellConfig,
-    build_dumbbell,
-    make_choke_queue,
-    make_droptail_queue,
-    make_red_queue,
-)
-from repro.testbed.dummynet import TestbedConfig, build_testbed
+from repro.sim.topology import QUEUE_FACTORIES, DumbbellConfig
+from repro.testbed.dummynet import TestbedConfig
 from repro.util.errors import ValidationError
 from repro.util.validate import check_positive
 
@@ -49,7 +44,10 @@ __all__ = [
     "TestbedPlatform",
     "GainPoint",
     "GainCurve",
+    "GainSweepPlan",
+    "plan_gain_sweep",
     "run_gain_sweep",
+    "run_gain_sweeps",
     "render_curve_table",
     "default_gammas",
 ]
@@ -77,20 +75,43 @@ def _dumbbell_tcp_config() -> TCPConfig:
     return TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=2, min_rto=1.0)
 
 
-class DumbbellPlatform:
-    """The ns-2-style dumbbell environment (Figs. 6-10)."""
+class _SweepPlatform:
+    """Shared measurement front-end over the experiment runner.
 
-    _QUEUE_FACTORIES = {
-        "red": make_red_queue,
-        "droptail": make_droptail_queue,
-        "choke": make_choke_queue,
-    }
+    Both validation environments measure through one implementation:
+    the platform reduces itself to a serializable
+    :class:`~repro.runner.PlatformSpec` and each measurement becomes a
+    runner :class:`~repro.runner.Cell`.  The runner memoizes (and
+    optionally disk-caches) results under a key covering the *full*
+    scenario -- platform kind, flow count, queue discipline, TCP stack,
+    seed, pulse train, and measurement window -- so the shared no-attack
+    baseline of a multi-curve sweep is measured once, and two platforms
+    that differ only in seed or config can never collide.
+    """
+
+    def spec(self) -> PlatformSpec:
+        """The serializable identity measurements are keyed/built by."""
+        raise NotImplementedError
+
+    def measure_goodput(self, train: Optional[PulseTrain], *, warmup: float,
+                        window: float,
+                        runner: Optional[ExperimentRunner] = None) -> float:
+        """Payload bytes delivered in [warmup, warmup+window], attack optional."""
+        runner = runner if runner is not None else get_default_runner()
+        cell = Cell(
+            platform=self.spec(), train=train, warmup=warmup, window=window,
+        )
+        return runner.measure(cell).goodput_bytes
+
+
+class DumbbellPlatform(_SweepPlatform):
+    """The ns-2-style dumbbell environment (Figs. 6-10)."""
 
     def __init__(self, *, n_flows: int = 15, queue: str = "red",
                  seed: int = 1, tcp: Optional[TCPConfig] = None) -> None:
-        if queue not in self._QUEUE_FACTORIES:
+        if queue not in QUEUE_FACTORIES:
             raise ValidationError(
-                f"queue must be one of {sorted(self._QUEUE_FACTORIES)}, "
+                f"queue must be one of {sorted(QUEUE_FACTORIES)}, "
                 f"got {queue!r}"
             )
         self.n_flows = n_flows
@@ -99,11 +120,16 @@ class DumbbellPlatform:
         self.tcp = tcp if tcp is not None else _dumbbell_tcp_config()
         self._config = DumbbellConfig(
             n_flows=n_flows,
-            queue_factory=self._QUEUE_FACTORIES[queue],
+            queue_factory=QUEUE_FACTORIES[queue],
             tcp=self.tcp,
             seed=seed,
         )
-        self._baseline_cache = {}
+
+    def spec(self) -> PlatformSpec:
+        return PlatformSpec(
+            kind="dumbbell", n_flows=self.n_flows, seed=self.seed,
+            queue=self.queue, tcp=self.tcp,
+        )
 
     @property
     def bottleneck_bps(self) -> float:
@@ -120,31 +146,8 @@ class DumbbellPlatform:
             s_packet=1500.0,
         )
 
-    def measure_goodput(self, train: Optional[PulseTrain], *, warmup: float,
-                        window: float) -> float:
-        """Payload bytes delivered in [warmup, warmup+window], attack optional.
 
-        The (deterministic) no-attack baseline is cached per
-        (warmup, window) so multi-curve sweeps pay for it once.
-        """
-        key = (warmup, window)
-        if train is None and key in self._baseline_cache:
-            return self._baseline_cache[key]
-        net = build_dumbbell(dataclasses.replace(self._config))
-        net.start_flows()
-        net.run(until=warmup)
-        before = net.aggregate_goodput_bytes()
-        if train is not None:
-            source = net.add_attack(train, start_time=warmup)
-            source.start()
-        net.run(until=warmup + window)
-        result = net.aggregate_goodput_bytes() - before
-        if train is None:
-            self._baseline_cache[key] = result
-        return result
-
-
-class TestbedPlatform:
+class TestbedPlatform(_SweepPlatform):
     """The Dummynet test-bed environment (Fig. 12)."""
 
     __test__ = False  # not a pytest class, despite the name
@@ -155,7 +158,12 @@ class TestbedPlatform:
         self.use_red = use_red
         self.seed = seed
         self._config = TestbedConfig(n_flows=n_flows, use_red=use_red, seed=seed)
-        self._baseline_cache = {}
+
+    def spec(self) -> PlatformSpec:
+        return PlatformSpec(
+            kind="testbed", n_flows=self.n_flows, seed=self.seed,
+            use_red=self.use_red,
+        )
 
     @property
     def bottleneck_bps(self) -> float:
@@ -171,29 +179,6 @@ class TestbedPlatform:
             delayed_ack=self._config.tcp.delayed_ack,
             s_packet=1500.0,
         )
-
-    def measure_goodput(self, train: Optional[PulseTrain], *, warmup: float,
-                        window: float) -> float:
-        """Payload bytes delivered in [warmup, warmup+window], attack optional.
-
-        The (deterministic) no-attack baseline is cached per
-        (warmup, window) so multi-curve sweeps pay for it once.
-        """
-        key = (warmup, window)
-        if train is None and key in self._baseline_cache:
-            return self._baseline_cache[key]
-        net = build_testbed(dataclasses.replace(self._config))
-        net.start_flows()
-        net.run(until=warmup)
-        before = net.aggregate_goodput_bytes()
-        if train is not None:
-            source = net.add_attack(train, start_time=warmup)
-            source.start()
-        net.run(until=warmup + window)
-        result = net.aggregate_goodput_bytes() - before
-        if train is None:
-            self._baseline_cache[key] = result
-        return result
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +252,91 @@ class GainCurve:
         )
 
 
-def run_gain_sweep(
+@dataclasses.dataclass(frozen=True)
+class GainSweepPlan:
+    """A fully resolved sweep: the cells to measure and how to read them.
+
+    Produced by :func:`plan_gain_sweep`; consumed (possibly many at a
+    time) by :func:`run_gain_sweeps`, which fans every plan's cells out
+    through the experiment runner in one batch.
+    """
+
+    platform_spec: PlatformSpec
+    rate_bps: float
+    extent: float
+    gammas: tuple
+    trains: tuple  #: one PulseTrain per γ, sized to cover the window
+    kappa: float
+    warmup: float
+    window: float
+    label: str
+    exclude_shrew: bool
+    c_psi: float
+    min_rto: float
+
+    def cells(self) -> List[Cell]:
+        """The baseline cell followed by one attack cell per γ."""
+        baseline = Cell(
+            platform=self.platform_spec, train=None,
+            warmup=self.warmup, window=self.window,
+        )
+        return [baseline] + [
+            Cell(platform=self.platform_spec, train=train,
+                 warmup=self.warmup, window=self.window)
+            for train in self.trains
+        ]
+
+    def assemble(self, baseline: float,
+                 attacked: Sequence[float]) -> GainCurve:
+        """Turn measured goodputs back into a classified curve."""
+        if baseline <= 0:
+            raise ValidationError(
+                "baseline goodput is zero; the measurement window is too short"
+            )
+        points: List[GainPoint] = []
+        for gamma, train, goodput in zip(self.gammas, self.trains, attacked):
+            degradation_measured = 1.0 - goodput / baseline
+            points.append(GainPoint(
+                gamma=gamma,
+                period=train.period,
+                analytic_gain=attack_gain(gamma, self.c_psi, self.kappa),
+                measured_gain=(
+                    degradation_measured * (1.0 - gamma) ** self.kappa
+                ),
+                measured_degradation=degradation_measured,
+                is_shrew=False,  # filled below once all periods are known
+            ))
+
+        shrew: List[ShrewPoint] = flag_shrew_points(
+            [p.period for p in points], self.min_rto,
+        )
+        shrew_indices = {sp.index for sp in shrew}
+        points = [
+            dataclasses.replace(point, is_shrew=(index in shrew_indices))
+            for index, point in enumerate(points)
+        ]
+
+        valid = [p for p in points if p.gamma > self.c_psi]
+        if self.exclude_shrew:
+            kept = [p for p in valid if not p.is_shrew] or valid or points
+        else:
+            kept = valid or points
+        comparison = classify_gain(
+            [p.measured_gain for p in kept],
+            [p.analytic_gain for p in kept],
+        )
+        return GainCurve(
+            label=self.label,
+            rate_bps=self.rate_bps,
+            extent=self.extent,
+            kappa=self.kappa,
+            c_psi=self.c_psi,
+            points=points,
+            comparison=comparison,
+        )
+
+
+def plan_gain_sweep(
     platform,
     *,
     rate_bps: float,
@@ -278,17 +347,14 @@ def run_gain_sweep(
     window: Optional[float] = None,
     label: str = "",
     exclude_shrew_from_classification: bool = True,
-) -> GainCurve:
-    """Sweep γ on *platform* and compare measured vs analytical gain.
+) -> GainSweepPlan:
+    """Resolve a sweep's defaults and pre-build its per-γ pulse trains.
 
-    For each γ the attack period follows from Eq. (4); the measured gain
-    uses a paired (same-seed) no-attack baseline.  Shrew points
-    (T_AIMD ≈ minRTO/n) are flagged, and -- following the paper's own
-    practice in §4.1.2 -- excluded from the normal/under/over-gain
-    classification unless *exclude_shrew_from_classification* is False.
-    Samples with γ ≤ C_ψ are likewise excluded from classification: the
-    model's Γ ∈ (0, 1) domain (Eq. 12) requires C_ψ < γ, so the analytic
-    prediction is undefined (negative) there.
+    The attack period of each γ comes from
+    :meth:`PulseTrain.period_from_gamma` -- the same (space-clamped)
+    inversion :meth:`PulseTrain.from_gamma` applies -- so the pulse
+    count sized to cover the window can never drift from the train
+    actually built.
     """
     check_positive("rate_bps", rate_bps)
     check_positive("extent", extent)
@@ -305,59 +371,104 @@ def run_gain_sweep(
         victims, extent=extent, rate_bps=rate_bps, bottleneck_bps=bottleneck
     )
 
-    baseline = platform.measure_goodput(None, warmup=warmup, window=window)
-    if baseline <= 0:
-        raise ValidationError(
-            "baseline goodput is zero; the measurement window is too short"
-        )
-
-    points: List[GainPoint] = []
-    periods: List[float] = []
+    trains: List[PulseTrain] = []
     for gamma in gammas:
-        train = PulseTrain.from_gamma(
+        period = PulseTrain.period_from_gamma(
             gamma=float(gamma), rate_bps=rate_bps, extent=extent,
             bottleneck_bps=bottleneck,
-            n_pulses=int(math.ceil(window / (rate_bps * extent / (gamma * bottleneck)))) + 2,
         )
-        attacked = platform.measure_goodput(train, warmup=warmup, window=window)
-        degradation_measured = 1.0 - attacked / baseline
-        measured = degradation_measured * (1.0 - float(gamma)) ** kappa
-        analytic = attack_gain(float(gamma), c_psi_value, kappa)
-        periods.append(train.period)
-        points.append(GainPoint(
-            gamma=float(gamma),
-            period=train.period,
-            analytic_gain=analytic,
-            measured_gain=measured,
-            measured_degradation=degradation_measured,
-            is_shrew=False,  # filled below once all periods are known
+        trains.append(PulseTrain.from_gamma(
+            gamma=float(gamma), rate_bps=rate_bps, extent=extent,
+            bottleneck_bps=bottleneck,
+            n_pulses=int(math.ceil(window / period)) + 2,
         ))
 
-    shrew: List[ShrewPoint] = flag_shrew_points(periods, platform.min_rto)
-    shrew_indices = {sp.index for sp in shrew}
-    points = [
-        dataclasses.replace(point, is_shrew=(index in shrew_indices))
-        for index, point in enumerate(points)
-    ]
-
-    valid = [p for p in points if p.gamma > c_psi_value]
-    if exclude_shrew_from_classification:
-        kept = [p for p in valid if not p.is_shrew] or valid or points
-    else:
-        kept = valid or points
-    comparison = classify_gain(
-        [p.measured_gain for p in kept],
-        [p.analytic_gain for p in kept],
-    )
-    return GainCurve(
-        label=label or f"R={rate_bps / 1e6:.0f}M T_extent={extent * 1e3:.0f}ms",
+    return GainSweepPlan(
+        platform_spec=platform.spec(),
         rate_bps=rate_bps,
         extent=extent,
+        gammas=tuple(float(g) for g in gammas),
+        trains=tuple(trains),
         kappa=kappa,
+        warmup=warmup,
+        window=window,
+        label=label or f"R={rate_bps / 1e6:.0f}M T_extent={extent * 1e3:.0f}ms",
+        exclude_shrew=exclude_shrew_from_classification,
         c_psi=c_psi_value,
-        points=points,
-        comparison=comparison,
+        min_rto=platform.min_rto,
     )
+
+
+def run_gain_sweeps(
+    plans: Sequence[GainSweepPlan],
+    *,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[GainCurve]:
+    """Measure many sweeps' cells in one runner batch.
+
+    This is how multi-curve figures parallelize: the union of every
+    plan's (baseline + per-γ) cells is handed to the runner at once, so
+    with ``jobs > 1`` the cells of *different* curves overlap too, and
+    cells shared between plans (e.g. a common baseline) are measured
+    exactly once.
+    """
+    runner = runner if runner is not None else get_default_runner()
+    cells: List[Cell] = []
+    bounds: List[tuple] = []
+    for plan in plans:
+        start = len(cells)
+        cells.extend(plan.cells())
+        bounds.append((start, len(cells)))
+    results = runner.measure_many(cells)
+    return [
+        plan.assemble(
+            results[start].goodput_bytes,
+            [r.goodput_bytes for r in results[start + 1:end]],
+        )
+        for plan, (start, end) in zip(plans, bounds)
+    ]
+
+
+def run_gain_sweep(
+    platform,
+    *,
+    rate_bps: float,
+    extent: float,
+    gammas: Optional[Sequence[float]] = None,
+    kappa: float = 1.0,
+    warmup: Optional[float] = None,
+    window: Optional[float] = None,
+    label: str = "",
+    exclude_shrew_from_classification: bool = True,
+    runner: Optional[ExperimentRunner] = None,
+) -> GainCurve:
+    """Sweep γ on *platform* and compare measured vs analytical gain.
+
+    For each γ the attack period follows from Eq. (4); the measured gain
+    uses a paired (same-seed) no-attack baseline.  Shrew points
+    (T_AIMD ≈ minRTO/n) are flagged, and -- following the paper's own
+    practice in §4.1.2 -- excluded from the normal/under/over-gain
+    classification unless *exclude_shrew_from_classification* is False.
+    Samples with γ ≤ C_ψ are likewise excluded from classification: the
+    model's Γ ∈ (0, 1) domain (Eq. 12) requires C_ψ < γ, so the analytic
+    prediction is undefined (negative) there.
+
+    Measurements route through *runner* (default: the process-wide
+    runner), which parallelizes across γ when configured with
+    ``jobs > 1`` and reuses memoized/cached cells.
+    """
+    plan = plan_gain_sweep(
+        platform,
+        rate_bps=rate_bps,
+        extent=extent,
+        gammas=gammas,
+        kappa=kappa,
+        warmup=warmup,
+        window=window,
+        label=label,
+        exclude_shrew_from_classification=exclude_shrew_from_classification,
+    )
+    return run_gain_sweeps([plan], runner=runner)[0]
 
 
 def render_curve_table(curves: Sequence[GainCurve], title: str = "") -> str:

@@ -20,8 +20,6 @@ Two defense claims from the paper are made quantitative here:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
-
 import numpy as np
 
 from repro.baselines.shrew import ShrewAttack
@@ -30,15 +28,12 @@ from repro.experiments.base import (
     DumbbellPlatform,
     GainCurve,
     default_gammas,
+    plan_gain_sweep,
     render_curve_table,
-    run_gain_sweep,
+    run_gain_sweeps,
 )
+from repro.runner import Cell, PlatformSpec, get_default_runner
 from repro.sim.tcp import TCPConfig, TCPVariant
-from repro.sim.topology import (
-    DumbbellConfig,
-    build_dumbbell,
-    make_choke_queue,
-)
 from repro.util.units import mbps, ms
 
 __all__ = ["RTODefenseResult", "run_rto_randomization",
@@ -86,17 +81,16 @@ class RTODefenseResult:
         ])
 
 
-def _goodput_under(train: PulseTrain, *, jitter: float, n_flows: int,
-                   warmup: float, window: float, seed: int) -> float:
+def _attack_cell(train: PulseTrain, *, jitter: float, n_flows: int,
+                 warmup: float, window: float, seed: int) -> Cell:
     tcp = TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=2, min_rto=1.0,
                     rto_jitter=jitter)
-    net = build_dumbbell(DumbbellConfig(n_flows=n_flows, tcp=tcp, seed=seed))
-    net.start_flows()
-    net.run(until=warmup)
-    before = net.aggregate_goodput_bytes()
-    net.add_attack(train, start_time=warmup).start()
-    net.run(until=warmup + window)
-    return (net.aggregate_goodput_bytes() - before) * 8.0 / window
+    return Cell(
+        platform=PlatformSpec(
+            kind="dumbbell", n_flows=n_flows, seed=seed, tcp=tcp,
+        ),
+        train=train, warmup=warmup, window=window,
+    )
 
 
 def run_rto_randomization(
@@ -106,12 +100,20 @@ def run_rto_randomization(
     warmup: float = 6.0,
     window: float = 25.0,
     seed: int = 5,
+    n_seeds: int = 3,
 ) -> RTODefenseResult:
     """Evaluate randomized RTO against both PDoS attack classes.
 
     The timeout-based attack pulses at the victims' minRTO (1 s, the
     ns-2 default); the AIMD-based attack uses a fast FR-driven period
     far from any RTO harmonic.  Both carry comparable average rates.
+
+    Each condition is averaged over ``n_seeds`` scenario seeds
+    (``seed .. seed + n_seeds - 1``): whether a given pulse catches a
+    victim inside its jittered timeout is sensitive to the exact RTO
+    draws, so a single seed is noisy.  All conditions x seeds form one
+    independent cell batch -- parallel under ``--jobs``, cached across
+    re-runs.
     """
     n_pulses = int(np.ceil(window)) + 2
     shrew = ShrewAttack(min_rto=1.0, rate_bps=mbps(40),
@@ -120,12 +122,24 @@ def run_rto_randomization(
         gamma=0.6, rate_bps=mbps(30), extent=ms(100),
         bottleneck_bps=mbps(15), n_pulses=3 * n_pulses + 2,
     )
-    kwargs = dict(n_flows=n_flows, warmup=warmup, window=window, seed=seed)
+    seeds = range(seed, seed + n_seeds)
+    conditions = [(shrew, 0.0), (shrew, jitter), (aimd, 0.0), (aimd, jitter)]
+    results = get_default_runner().measure_many([
+        _attack_cell(train, jitter=j, n_flows=n_flows, warmup=warmup,
+                     window=window, seed=s)
+        for train, j in conditions
+        for s in seeds
+    ])
+    goodputs = [r.goodput_bytes for r in results]
+    to_bps = [
+        sum(goodputs[i * n_seeds:(i + 1) * n_seeds]) / (n_seeds * window) * 8.0
+        for i in range(len(conditions))
+    ]
     return RTODefenseResult(
-        shrew_plain=_goodput_under(shrew, jitter=0.0, **kwargs),
-        shrew_jittered=_goodput_under(shrew, jitter=jitter, **kwargs),
-        aimd_plain=_goodput_under(aimd, jitter=0.0, **kwargs),
-        aimd_jittered=_goodput_under(aimd, jitter=jitter, **kwargs),
+        shrew_plain=to_bps[0],
+        shrew_jittered=to_bps[1],
+        aimd_plain=to_bps[2],
+        aimd_jittered=to_bps[3],
     )
 
 
@@ -171,12 +185,14 @@ def run_aqm_hardening(
     """Sweep the same attack against RED and CHOKe bottlenecks."""
     if gammas is None:
         gammas = default_gammas()
-    red = run_gain_sweep(
-        DumbbellPlatform(n_flows=n_flows, queue="red", seed=600),
-        rate_bps=rate_bps, extent=extent, gammas=gammas, label="RED",
-    )
-    choke = run_gain_sweep(
-        DumbbellPlatform(n_flows=n_flows, queue="choke", seed=600),
-        rate_bps=rate_bps, extent=extent, gammas=gammas, label="CHOKe",
-    )
+    red, choke = run_gain_sweeps([
+        plan_gain_sweep(
+            DumbbellPlatform(n_flows=n_flows, queue="red", seed=600),
+            rate_bps=rate_bps, extent=extent, gammas=gammas, label="RED",
+        ),
+        plan_gain_sweep(
+            DumbbellPlatform(n_flows=n_flows, queue="choke", seed=600),
+            rate_bps=rate_bps, extent=extent, gammas=gammas, label="CHOKe",
+        ),
+    ])
     return AQMHardeningResult(red=red, choke=choke)

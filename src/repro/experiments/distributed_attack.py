@@ -15,19 +15,14 @@ sources the conformance filter flags.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.core.attack import PulseTrain
-from repro.core.distributed import (
-    DistributedAttack,
-    split_interleaved,
-    split_synchronized,
-)
-from repro.detection.feature import ConformanceDetector
+from repro.core.distributed import split_interleaved, split_synchronized
+from repro.runner import Cell, DeploymentSpec, PlatformSpec, get_default_runner
 from repro.sim.tcp import TCPConfig, TCPVariant
-from repro.sim.topology import DumbbellConfig, build_dumbbell
 from repro.util.units import mbps, ms
 
 __all__ = ["DistributedResult", "run_distributed_attack"]
@@ -78,34 +73,6 @@ class DistributedResult:
         return "\n".join(lines)
 
 
-def _measure(deployment: Optional[DistributedAttack],
-             single: Optional[PulseTrain], *, n_flows: int, warmup: float,
-             window: float, seed: int, rate_floor_bps: float):
-    tcp = TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=2, min_rto=1.0)
-    net = build_dumbbell(DumbbellConfig(n_flows=n_flows, tcp=tcp, seed=seed))
-    conformance = ConformanceDetector(min_rate_bps=rate_floor_bps)
-    net.bottleneck.monitors.append(conformance.observe_forward)
-    net.reverse_bottleneck.monitors.append(conformance.observe_reverse)
-
-    net.start_flows()
-    net.run(until=warmup)
-    before = net.aggregate_goodput_bytes()
-    attack_flow_ids: List[int] = []
-    if deployment is not None:
-        sources = net.launch_distributed(deployment, start_time=warmup)
-        attack_flow_ids = [source.flow_id for source in sources]
-    elif single is not None:
-        source = net.add_attack(single, start_time=warmup)
-        source.start()
-        attack_flow_ids = [source.flow_id]
-    net.run(until=warmup + window)
-    goodput = net.aggregate_goodput_bytes() - before
-    flagged = sum(
-        1 for flow_id in attack_flow_ids if conformance.is_flagged(flow_id)
-    )
-    return goodput, flagged
-
-
 def run_distributed_attack(
     *,
     n_sources: int = 5,
@@ -119,9 +86,11 @@ def run_distributed_attack(
 ) -> DistributedResult:
     """Compare single-source vs synchronized vs interleaved deployments."""
     bottleneck = mbps(15)
-    n_pulses_raw = int(np.ceil(
-        window / (rate_bps * extent / (gamma * bottleneck))
-    )) + 2
+    period = PulseTrain.period_from_gamma(
+        gamma=gamma, rate_bps=rate_bps, extent=extent,
+        bottleneck_bps=bottleneck,
+    )
+    n_pulses_raw = int(np.ceil(window / period)) + 2
     # Interleaving needs a pulse count divisible by the source count.
     n_pulses = ((n_pulses_raw + n_sources - 1) // n_sources) * n_sources
     train = PulseTrain.from_gamma(
@@ -132,27 +101,47 @@ def run_distributed_attack(
     # average -- a floor the single attacker trips and a k>=4 split ducks.
     rate_floor = 0.3 * train.mean_rate_bps()
 
-    kwargs = dict(n_flows=n_flows, warmup=warmup, window=window, seed=seed,
-                  rate_floor_bps=rate_floor)
-    baseline, _ = _measure(None, None, **kwargs)
+    platform = PlatformSpec(
+        kind="dumbbell", n_flows=n_flows, seed=seed,
+        tcp=TCPConfig(variant=TCPVariant.NEWRENO, delayed_ack=2, min_rto=1.0),
+    )
+    synchronized = split_synchronized(train, n_sources)
+    interleaved = split_interleaved(train, n_sources)
+
+    def _cell(single=None, deployment=None, floor=None) -> Cell:
+        return Cell(
+            platform=platform, warmup=warmup, window=window, train=single,
+            deployment=(
+                None if deployment is None
+                else DeploymentSpec.from_attack(deployment)
+            ),
+            rate_floor_bps=floor,
+        )
+
+    # All four measurements are independent: one runner batch.
+    results = get_default_runner().measure_many([
+        _cell(),
+        _cell(single=train, floor=rate_floor),
+        _cell(deployment=synchronized, floor=rate_floor),
+        _cell(deployment=interleaved, floor=rate_floor),
+    ])
+    baseline = results[0].goodput_bytes
 
     outcomes: Dict[str, DeploymentOutcome] = {}
-    single_goodput, single_flagged = _measure(None, train, **kwargs)
     outcomes["single"] = DeploymentOutcome(
-        degradation=1.0 - single_goodput / baseline,
+        degradation=1.0 - results[1].goodput_bytes / baseline,
         n_sources=1,
-        flagged_sources=single_flagged,
+        flagged_sources=results[1].flagged_sources,
         per_source_gamma=train.gamma(bottleneck),
     )
-    for name, split in (
-        ("synchronized", split_synchronized(train, n_sources)),
-        ("interleaved", split_interleaved(train, n_sources)),
+    for name, split, result in (
+        ("synchronized", synchronized, results[2]),
+        ("interleaved", interleaved, results[3]),
     ):
-        goodput, flagged = _measure(split, None, **kwargs)
         outcomes[name] = DeploymentOutcome(
-            degradation=1.0 - goodput / baseline,
+            degradation=1.0 - result.goodput_bytes / baseline,
             n_sources=n_sources,
-            flagged_sources=flagged,
+            flagged_sources=result.flagged_sources,
             per_source_gamma=split.per_source_gamma(bottleneck),
         )
     return DistributedResult(

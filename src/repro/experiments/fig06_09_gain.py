@@ -23,8 +23,9 @@ from repro.experiments.base import (
     GainCurve,
     default_gammas,
     full_scale,
+    plan_gain_sweep,
     render_curve_table,
-    run_gain_sweep,
+    run_gain_sweeps,
 )
 from repro.util.units import mbps, ms
 from repro.util.errors import ValidationError
@@ -110,11 +111,15 @@ def run_gain_figure(
     if gammas is None:
         gammas = default_gammas()
 
-    panels: Dict[int, List[GainCurve]] = {}
+    # Plan every (panel, series) sweep up front and measure the union of
+    # their cells in a single runner batch, so parallel workers overlap
+    # across panels and series -- not just within one curve.
+    plans = []
+    plan_panels: List[int] = []
     for n_flows in flow_counts:
         platform = DumbbellPlatform(n_flows=n_flows, seed=figure * 100 + n_flows)
-        curves = [
-            run_gain_sweep(
+        for extent in extents:
+            plans.append(plan_gain_sweep(
                 platform,
                 rate_bps=rate,
                 extent=extent,
@@ -124,8 +129,10 @@ def run_gain_figure(
                     f"T_extent={extent * 1e3:.0f}ms, {n_flows} flows, "
                     f"R={rate / 1e6:.0f}M"
                 ),
-            )
-            for extent in extents
-        ]
-        panels[n_flows] = curves
+            ))
+            plan_panels.append(n_flows)
+
+    panels: Dict[int, List[GainCurve]] = {n: [] for n in flow_counts}
+    for n_flows, curve in zip(plan_panels, run_gain_sweeps(plans)):
+        panels[n_flows].append(curve)
     return GainFigure(figure=figure, rate_bps=rate, panels=panels)

@@ -25,8 +25,9 @@ from repro.experiments.base import (
     GainCurve,
     default_gammas,
     full_scale,
+    plan_gain_sweep,
     render_curve_table,
-    run_gain_sweep,
+    run_gain_sweeps,
 )
 from repro.util.units import mbps, ms
 
@@ -96,7 +97,7 @@ def run_fig10(*, gammas=None, n_flows: int = 15) -> ShrewFigure:
         list(gammas) if gammas is not None
         else list(default_gammas(9 if full_scale() else 5))
     )
-    curves: List[GainCurve] = []
+    plans = []
     for label, rate, extent in SHREW_CASES:
         platform = DumbbellPlatform(n_flows=n_flows, seed=1000)
         case_gammas = sorted(set(
@@ -106,13 +107,16 @@ def run_fig10(*, gammas=None, n_flows: int = 15) -> ShrewFigure:
                 min_rto=platform.min_rto,
             )
         ))
-        curves.append(run_gain_sweep(
+        plans.append(plan_gain_sweep(
             platform,
             rate_bps=rate,
             extent=extent,
             gammas=case_gammas,
             label=label,
         ))
+    # One batch: the three cases share the same platform scenario, so
+    # their identical baseline cell is measured once for all of them.
+    curves = run_gain_sweeps(plans)
     return ShrewFigure(
         curves=curves,
         shrew_excess=[_excess(c, True) for c in curves],

@@ -17,8 +17,9 @@ from repro.experiments.base import (
     GainCurve,
     TestbedPlatform,
     default_gammas,
+    plan_gain_sweep,
     render_curve_table,
-    run_gain_sweep,
+    run_gain_sweeps,
 )
 from repro.util.units import mbps, ms
 
@@ -59,14 +60,16 @@ def run_fig12(*, gammas=None, n_flows: int = 10,
     """Reproduce Fig. 12 on the Dummynet test-bed emulation."""
     if gammas is None:
         gammas = default_gammas()
-    curves: List[GainCurve] = []
-    for rate in TESTBED_RATES:
-        platform = TestbedPlatform(n_flows=n_flows, use_red=use_red, seed=42)
-        curves.append(run_gain_sweep(
-            platform,
+    # One batch across the three rates: curves parallelize together and
+    # share the single no-attack baseline cell.
+    plans = [
+        plan_gain_sweep(
+            TestbedPlatform(n_flows=n_flows, use_red=use_red, seed=42),
             rate_bps=rate,
             extent=TESTBED_EXTENT,
             gammas=gammas,
             label=f"R_attack={rate / 1e6:.0f}M",
-        ))
-    return TestbedFigure(curves=curves)
+        )
+        for rate in TESTBED_RATES
+    ]
+    return TestbedFigure(curves=run_gain_sweeps(plans))

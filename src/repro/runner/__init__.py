@@ -1,0 +1,56 @@
+"""Parallel, cached experiment execution.
+
+Every gain figure repeats one deterministic measurement -- build a
+scenario, warm it up, measure goodput over a window, with or without an
+attack -- across many independent (platform, γ, attack) cells.  This
+package turns that structure into throughput:
+
+* :mod:`repro.runner.cells` defines the picklable unit of work
+  (:class:`Cell`) and its pure executor;
+* :mod:`repro.runner.cache` persists results on disk under a content
+  hash of the full scenario plus a code-version fingerprint;
+* :mod:`repro.runner.runner` fans cells out across worker processes and
+  layers an in-process memo plus the disk cache in front of execution.
+
+Cells are deterministic given their spec (every scenario is seeded and
+rebuilt from scratch per measurement), so a cell run serially, in a
+worker process, or replayed from cache yields bit-identical goodput.
+"""
+
+from repro.runner.cache import (
+    ResultCache,
+    cell_key,
+    code_version,
+    default_cache_dir,
+)
+from repro.runner.cells import (
+    Cell,
+    CellResult,
+    DeploymentSpec,
+    PlatformSpec,
+    execute_cell,
+)
+from repro.runner.runner import (
+    CellTiming,
+    ExperimentRunner,
+    RunnerStats,
+    get_default_runner,
+    set_default_runner,
+)
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "CellTiming",
+    "DeploymentSpec",
+    "ExperimentRunner",
+    "PlatformSpec",
+    "ResultCache",
+    "RunnerStats",
+    "cell_key",
+    "code_version",
+    "default_cache_dir",
+    "execute_cell",
+    "get_default_runner",
+    "set_default_runner",
+]

@@ -1,0 +1,261 @@
+"""The runner's unit of work: one picklable, deterministic measurement.
+
+A :class:`Cell` fully describes one goodput measurement -- the platform
+(as a serializable :class:`PlatformSpec` rather than a live network),
+the measurement window, and the optional attack (a single
+:class:`~repro.core.attack.PulseTrain` or a distributed
+:class:`DeploymentSpec`).  :func:`execute_cell` is the pure executor:
+it rebuilds the scenario from scratch, seeds it from the spec, and
+measures -- so the same cell yields bit-identical results whether it
+runs inline, in a worker process, or is replayed from the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.attack import PulseTrain
+from repro.sim.tcp import TCPConfig
+from repro.sim.topology import QUEUE_FACTORIES, DumbbellConfig, build_dumbbell
+from repro.testbed.dummynet import TestbedConfig, build_testbed
+from repro.util.errors import ValidationError
+from repro.util.validate import check_non_negative, check_positive
+
+__all__ = ["PlatformSpec", "DeploymentSpec", "Cell", "CellResult",
+           "execute_cell"]
+
+
+def _tcp_payload(tcp: Optional[TCPConfig]) -> Optional[dict]:
+    if tcp is None:
+        return None
+    payload = dataclasses.asdict(tcp)
+    payload["variant"] = tcp.variant.value
+    return payload
+
+
+def _train_payload(train: Optional[PulseTrain]) -> Optional[dict]:
+    if train is None:
+        return None
+    return {
+        "extents": list(train.extents),
+        "rates_bps": list(train.rates_bps),
+        "spaces": list(train.spaces),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformSpec:
+    """A serializable description of one measurement environment.
+
+    Attributes:
+        kind: ``"dumbbell"`` (the ns-2-style topology of Figs. 6-10) or
+            ``"testbed"`` (the Dummynet emulation of Fig. 12).
+        n_flows: victim TCP flow count.
+        seed: the scenario seed (flow-start jitter, RED coin flips).
+        queue: bottleneck discipline name (dumbbell only); one of
+            :data:`repro.sim.topology.QUEUE_FACTORIES`.
+        use_red: RED vs drop-tail pipe (testbed only).
+        tcp: the victim stack; ``None`` selects the platform's stock
+            configuration.
+    """
+
+    kind: str
+    n_flows: int
+    seed: int
+    queue: str = "red"
+    use_red: bool = True
+    tcp: Optional[TCPConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dumbbell", "testbed"):
+            raise ValidationError(
+                f"kind must be 'dumbbell' or 'testbed', got {self.kind!r}"
+            )
+        if self.kind == "dumbbell" and self.queue not in QUEUE_FACTORIES:
+            raise ValidationError(
+                f"queue must be one of {sorted(QUEUE_FACTORIES)}, "
+                f"got {self.queue!r}"
+            )
+        if self.n_flows < 1:
+            raise ValidationError(f"n_flows must be >= 1, got {self.n_flows}")
+
+    # ------------------------------------------------------------------
+    def to_config(self):
+        """The platform's config dataclass (frozen, picklable)."""
+        if self.kind == "dumbbell":
+            return DumbbellConfig(
+                n_flows=self.n_flows,
+                queue_factory=QUEUE_FACTORIES[self.queue],
+                tcp=self.tcp if self.tcp is not None else TCPConfig(),
+                seed=self.seed,
+            )
+        config = TestbedConfig(
+            n_flows=self.n_flows, use_red=self.use_red, seed=self.seed,
+        )
+        if self.tcp is not None:
+            config = dataclasses.replace(config, tcp=self.tcp)
+        return config
+
+    def build(self):
+        """A freshly built, unstarted network for this spec."""
+        if self.kind == "dumbbell":
+            return build_dumbbell(self.to_config())
+        return build_testbed(self.to_config())
+
+    def describe(self) -> dict:
+        """A JSON-serializable identity (feeds the cache key)."""
+        payload = {
+            "kind": self.kind,
+            "n_flows": self.n_flows,
+            "seed": self.seed,
+            "tcp": _tcp_payload(self.tcp),
+        }
+        if self.kind == "dumbbell":
+            payload["queue"] = self.queue
+        else:
+            payload["use_red"] = self.use_red
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentSpec:
+    """A distributed attack as (train, start-offset) pairs per source.
+
+    Duck-compatible with
+    :class:`~repro.core.distributed.DistributedAttack` where launching
+    is concerned (``trains`` / ``offsets``), but picklable-by-value and
+    serializable for cache keys.
+    """
+
+    trains: Tuple[PulseTrain, ...]
+    offsets: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.trains) != len(self.offsets):
+            raise ValidationError(
+                f"got {len(self.trains)} trains but {len(self.offsets)} offsets"
+            )
+        if not self.trains:
+            raise ValidationError("a deployment needs at least one source")
+
+    @classmethod
+    def from_attack(cls, attack) -> "DeploymentSpec":
+        """Adapt a :class:`~repro.core.distributed.DistributedAttack`."""
+        return cls(
+            trains=tuple(attack.trains),
+            offsets=tuple(float(offset) for offset in attack.offsets),
+        )
+
+    def describe(self) -> list:
+        return [
+            {"train": _train_payload(train), "offset": offset}
+            for train, offset in zip(self.trains, self.offsets)
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One independent goodput measurement.
+
+    Attributes:
+        platform: the environment to rebuild.
+        warmup: seconds of attack-free warm-up before the window opens.
+        window: measurement window length, seconds.
+        train: single-source pulse train starting at ``warmup`` (or
+            ``None`` for the no-attack baseline).
+        deployment: multi-source attack (mutually exclusive with
+            ``train``; dumbbell platforms only).
+        rate_floor_bps: when set, a per-flow conformance detector with
+            this rate floor observes the bottleneck and the result
+            reports how many attack sources it flagged (dumbbell only;
+            the detector is passive, so goodput is unaffected).
+    """
+
+    platform: PlatformSpec
+    warmup: float
+    window: float
+    train: Optional[PulseTrain] = None
+    deployment: Optional[DeploymentSpec] = None
+    rate_floor_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("warmup", self.warmup)
+        check_positive("window", self.window)
+        if self.train is not None and self.deployment is not None:
+            raise ValidationError(
+                "a cell takes a single train or a deployment, not both"
+            )
+        if self.platform.kind != "dumbbell" and (
+            self.deployment is not None or self.rate_floor_bps is not None
+        ):
+            raise ValidationError(
+                "deployments and conformance detection require the "
+                "dumbbell platform"
+            )
+        if self.rate_floor_bps is not None:
+            check_positive("rate_floor_bps", self.rate_floor_bps)
+
+    def describe(self) -> dict:
+        """A JSON-serializable identity (feeds the cache key)."""
+        return {
+            "platform": self.platform.describe(),
+            "warmup": self.warmup,
+            "window": self.window,
+            "train": _train_payload(self.train),
+            "deployment": (
+                None if self.deployment is None else self.deployment.describe()
+            ),
+            "rate_floor_bps": self.rate_floor_bps,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class CellResult:
+    """What a cell measures.
+
+    Attributes:
+        goodput_bytes: payload bytes delivered in the window.
+        flagged_sources: attack sources the conformance detector
+            flagged, or ``None`` when no detector was requested.
+    """
+
+    goodput_bytes: float
+    flagged_sources: Optional[int] = None
+
+
+def execute_cell(cell: Cell) -> CellResult:
+    """Run one measurement from scratch (pure: spec in, result out)."""
+    net = cell.platform.build()
+    detector = None
+    if cell.rate_floor_bps is not None:
+        from repro.detection.feature import ConformanceDetector
+
+        detector = ConformanceDetector(min_rate_bps=cell.rate_floor_bps)
+        net.bottleneck.monitors.append(detector.observe_forward)
+        net.reverse_bottleneck.monitors.append(detector.observe_reverse)
+
+    net.start_flows()
+    net.run(until=cell.warmup)
+    before = net.aggregate_goodput_bytes()
+
+    attack_flow_ids: List[int] = []
+    if cell.deployment is not None:
+        sources = net.launch_distributed(
+            cell.deployment, start_time=cell.warmup,
+        )
+        attack_flow_ids = [source.flow_id for source in sources]
+    elif cell.train is not None:
+        source = net.add_attack(cell.train, start_time=cell.warmup)
+        source.start()
+        attack_flow_ids = [source.flow_id]
+
+    net.run(until=cell.warmup + cell.window)
+    goodput = net.aggregate_goodput_bytes() - before
+
+    flagged = None
+    if detector is not None:
+        flagged = sum(
+            1 for flow_id in attack_flow_ids if detector.is_flagged(flow_id)
+        )
+    return CellResult(goodput_bytes=goodput, flagged_sources=flagged)

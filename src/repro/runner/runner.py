@@ -1,0 +1,221 @@
+"""The process-pool executor with layered memo + disk caching.
+
+:class:`ExperimentRunner` takes batches of independent
+:class:`~repro.runner.cells.Cell` measurements and resolves each from,
+in order: an in-process memo (covers e.g. the shared no-attack baseline
+of a multi-curve figure), the on-disk :class:`ResultCache`, and finally
+execution -- inline, or fanned out across worker processes when
+``jobs > 1``.  Identical cells inside one batch are deduplicated before
+dispatch, so a figure whose curves share a baseline measures it once.
+
+Determinism: cells carry their own seeds and are rebuilt from scratch
+per execution, so worker placement and completion order cannot change
+any result -- only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache, cell_key, code_version
+from repro.runner.cells import Cell, CellResult, execute_cell
+from repro.util.errors import ValidationError
+
+__all__ = ["CellTiming", "RunnerStats", "ExperimentRunner",
+           "get_default_runner", "set_default_runner"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellTiming:
+    """How one cell was resolved and how long it took."""
+
+    key: str
+    source: str  #: "executed", "cache", or "memo"
+    elapsed: float
+
+
+@dataclasses.dataclass
+class RunnerStats:
+    """Cumulative per-runner accounting (memo/cache hits, sim time)."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    memo_hits: int = 0
+    executed_seconds: float = 0.0
+    timings: List[CellTiming] = dataclasses.field(default_factory=list)
+
+    def record(self, key: str, source: str, elapsed: float = 0.0) -> None:
+        self.timings.append(CellTiming(key=key, source=source, elapsed=elapsed))
+        if source == "executed":
+            self.executed += 1
+            self.executed_seconds += elapsed
+        elif source == "cache":
+            self.cache_hits += 1
+        else:
+            self.memo_hits += 1
+
+    @property
+    def cells(self) -> int:
+        return self.executed + self.cache_hits + self.memo_hits
+
+    def checkpoint(self) -> Tuple[int, int, int, float]:
+        """An opaque marker for :meth:`since`."""
+        return (self.executed, self.cache_hits, self.memo_hits,
+                self.executed_seconds)
+
+    def since(self, mark: Tuple[int, int, int, float]) -> str:
+        """Human-readable delta summary since *mark*."""
+        executed = self.executed - mark[0]
+        cached = self.cache_hits - mark[1]
+        memo = self.memo_hits - mark[2]
+        seconds = self.executed_seconds - mark[3]
+        total = executed + cached + memo
+        return (
+            f"cells: {total} ({executed} executed in {seconds:.1f}s sim, "
+            f"{cached} cache hits, {memo} memo hits)"
+        )
+
+    def summary(self) -> str:
+        return self.since((0, 0, 0, 0.0))
+
+
+def _timed_execute(cell: Cell) -> Tuple[CellResult, float]:
+    started = time.perf_counter()
+    result = execute_cell(cell)
+    return result, time.perf_counter() - started
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ExperimentRunner:
+    """Parallel, cached execution of measurement cells.
+
+    Args:
+        jobs: worker processes for cache-missing cells; 1 runs inline.
+        cache_dir: directory for the persistent result cache, or
+            ``None`` to disable disk caching (the in-process memo is
+            always on).
+    """
+
+    def __init__(self, *, jobs: int = 1, cache_dir=None) -> None:
+        if jobs < 1:
+            raise ValidationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = RunnerStats()
+        self._memo: Dict[str, CellResult] = {}
+
+    # ------------------------------------------------------------------
+    def measure(self, cell: Cell) -> CellResult:
+        """Resolve one cell (memo -> disk cache -> execute)."""
+        return self.measure_many([cell])[0]
+
+    def measure_goodput(self, cell: Cell) -> float:
+        """Convenience: :meth:`measure` and return the goodput bytes."""
+        return self.measure(cell).goodput_bytes
+
+    def measure_many(self, cells: Sequence[Cell]) -> List[CellResult]:
+        """Resolve a batch, fanning cache misses out across workers.
+
+        Results come back in input order.  Duplicate cells (same content
+        key) are measured once.
+        """
+        version = code_version()
+        keys = [cell_key(cell, version) for cell in cells]
+        results: Dict[str, CellResult] = {}
+        pending: Dict[str, Cell] = {}
+        for key, cell in zip(keys, cells):
+            if key in results or key in pending:
+                continue
+            memo = self._memo.get(key)
+            if memo is not None:
+                results[key] = memo
+                self.stats.record(key, "memo")
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[key] = self._memo[key] = hit
+                    self.stats.record(key, "cache")
+                    continue
+            pending[key] = cell
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._execute_parallel(pending, results)
+            else:
+                for key, cell in pending.items():
+                    result, elapsed = _timed_execute(cell)
+                    self._finish(key, cell, result, elapsed)
+                    results[key] = result
+        return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _execute_parallel(self, pending: Dict[str, Cell],
+                          results: Dict[str, CellResult]) -> None:
+        workers = min(self.jobs, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context(),
+        ) as pool:
+            futures = {
+                pool.submit(_timed_execute, cell): key
+                for key, cell in pending.items()
+            }
+            for future in concurrent.futures.as_completed(futures):
+                key = futures[future]
+                result, elapsed = future.result()
+                self._finish(key, pending[key], result, elapsed)
+                results[key] = result
+
+    def _finish(self, key: str, cell: Cell, result: CellResult,
+                elapsed: float) -> None:
+        self._memo[key] = result
+        if self.cache is not None:
+            self.cache.put(key, result, meta={
+                "cell": cell.describe(), "elapsed": elapsed,
+            })
+        self.stats.record(key, "executed", elapsed)
+
+
+# ----------------------------------------------------------------------
+# the process-wide default runner
+# ----------------------------------------------------------------------
+_default_runner: Optional[ExperimentRunner] = None
+
+
+def get_default_runner() -> ExperimentRunner:
+    """The runner measurements use when no explicit one is passed.
+
+    Created lazily from the environment: ``REPRO_JOBS`` sets the worker
+    count (default 1) and ``REPRO_CACHE_DIR`` enables the disk cache at
+    that location (default: memo only, no disk cache).
+    """
+    global _default_runner
+    if _default_runner is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        _default_runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir)
+    return _default_runner
+
+
+def set_default_runner(
+    runner: Optional[ExperimentRunner],
+) -> Optional[ExperimentRunner]:
+    """Install *runner* as the default; returns the previous one.
+
+    Pass ``None`` to reset to lazy environment-driven creation.
+    """
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous

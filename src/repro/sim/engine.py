@@ -127,9 +127,11 @@ class Simulator:
         Args:
             until: stop once the clock would pass this time.  Events at
                 exactly ``until`` still fire.  ``None`` drains the calendar.
-            max_events: safety valve; raise :class:`SimulationError` if more
-                than this many events fire (an unbounded event cascade is
-                always a bug in a finite scenario).
+            max_events: safety valve; raise :class:`SimulationError` rather
+                than dispatch more than this many events (an unbounded event
+                cascade is always a bug in a finite scenario).  The budget is
+                checked before dispatch, so exactly ``max_events`` events
+                have executed when the error is raised.
 
         Returns:
             The number of events executed by this call.
@@ -145,17 +147,21 @@ class Simulator:
                 event = heap[0]
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(heap)
                 if event.cancelled:
+                    heapq.heappop(heap)
                     continue
+                # Check the budget *before* dispatch so the cascade stops at
+                # exactly max_events executed; the offending event stays in
+                # the calendar rather than firing past the budget.
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event cascade?"
+                    )
+                heapq.heappop(heap)
                 self._now = event.time
                 event.fn(*event.args)
                 executed += 1
                 self._events_executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway event cascade?"
-                    )
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:

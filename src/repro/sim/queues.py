@@ -102,8 +102,10 @@ class REDQueue(QueueDiscipline):
     Implements the classic algorithm as in ns-2:
 
     * EWMA of the queue length, updated on every arrival with weight
-      ``w_q``; decayed over idle periods by ``(1 - w_q)**m`` where ``m``
-      is the idle time divided by a typical packet transmission time.
+      ``w_q``; an arrival ending an idle period first decays the average
+      by ``(1 - w_q)**m`` -- ``m`` being the idle time divided by a
+      typical packet transmission time -- and then applies the normal
+      ``w_q`` update with its own queue sample, as ns-2 does.
     * Probabilistic early drop between ``min_th`` and ``max_th`` with the
       inter-drop count correction ``p_a = p_b / (1 - count * p_b)``.
     * ``gentle`` mode ramps the drop probability from ``max_p`` at
@@ -160,13 +162,15 @@ class REDQueue(QueueDiscipline):
 
     def _update_average(self, state: QueueState) -> None:
         q = self._measured_queue(state)
-        if q > 0 or state.idle_since is None:
-            self.avg = (1.0 - self.w_q) * self.avg + self.w_q * q
-        else:
-            # Queue has been idle; pretend m small packets went by.
+        if q <= 0 and state.idle_since is not None:
+            # Queue has been idle; pretend m small packets went by.  As in
+            # ns-2's estimator the decay only accounts for the idle
+            # interval -- the arrival's own queue sample still folds into
+            # the EWMA through the normal w_q update below.
             service = self._mean_service_time or 0.001
             m = max(0.0, (state.now - state.idle_since) / service)
             self.avg *= (1.0 - self.w_q) ** m
+        self.avg = (1.0 - self.w_q) * self.avg + self.w_q * q
 
     def _drop_probability(self, pkt_bytes: float) -> float:
         """Base drop probability p_b from the current average queue."""

@@ -36,7 +36,8 @@ from repro.util.units import mbps, ms
 from repro.util.validate import check_positive
 
 __all__ = ["DumbbellConfig", "DumbbellNetwork", "build_dumbbell",
-           "make_red_queue", "make_droptail_queue", "make_choke_queue"]
+           "make_red_queue", "make_droptail_queue", "make_choke_queue",
+           "QUEUE_FACTORIES"]
 
 #: Size of a full data packet on the wire (MSS 1460 + 40 B headers).
 FULL_PACKET_BYTES = 1500.0
@@ -115,7 +116,18 @@ def make_choke_queue(
     )
 
 
-@dataclasses.dataclass
+#: Queue-discipline name -> factory.  The names are what experiment
+#: platforms and runner cells use to reference a discipline: a name
+#: serializes into a cache key and pickles to a worker, a callable does
+#: not (reliably).
+QUEUE_FACTORIES = {
+    "red": make_red_queue,
+    "droptail": make_droptail_queue,
+    "choke": make_choke_queue,
+}
+
+
+@dataclasses.dataclass(frozen=True)
 class DumbbellConfig:
     """Parameters of the Fig. 5 dumbbell.
 
@@ -126,6 +138,9 @@ class DumbbellConfig:
     enough that a 50 ms pulse is partially absorbed (the paper's
     under-gain regime) while a 100 ms pulse overflows it (normal/over
     gain), which is the gradient Section 4.1.1 describes.
+
+    Frozen (hashable and picklable) so a config can key the experiment
+    runner's result cache and ship to worker processes unchanged.
     """
 
     n_flows: int = 15
@@ -152,7 +167,7 @@ class DumbbellConfig:
                 f"need 0 < rtt_min <= rtt_max, got [{self.rtt_min}, {self.rtt_max}]"
             )
         if self.queue_factory is None:
-            self.queue_factory = make_red_queue
+            object.__setattr__(self, "queue_factory", make_red_queue)
 
     def flow_rtts(self) -> np.ndarray:
         """Per-flow propagation RTTs, evenly spread over [rtt_min, rtt_max]."""

@@ -102,9 +102,13 @@ def _linux_tcp_config() -> TCPConfig:
     )
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class TestbedConfig:
-    """Parameters of the Fig. 11 test-bed."""
+    """Parameters of the Fig. 11 test-bed.
+
+    Frozen (hashable and picklable) so a config can key the experiment
+    runner's result cache and ship to worker processes unchanged.
+    """
 
     __test__ = False  # not a pytest class, despite the name
 

@@ -17,3 +17,12 @@ def sim() -> Simulator:
 def rng() -> random.Random:
     """A deterministic RNG for queue disciplines."""
     return random.Random(1234)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_runner():
+    """Keep the process-wide default runner from leaking between tests."""
+    yield
+    from repro.runner import set_default_runner
+
+    set_default_runner(None)

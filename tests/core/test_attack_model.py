@@ -154,3 +154,27 @@ class TestFromGamma:
                                    extent=0.1, n_pulses=4)
         assert train.space == pytest.approx(0.3)
         assert train.mu == pytest.approx(3.0)
+
+
+class TestPeriodFromGamma:
+    """period_from_gamma is the single source of truth for Eq. (4)."""
+
+    def test_matches_the_built_train_period(self):
+        kwargs = dict(gamma=0.5, rate_bps=mbps(30), extent=ms(100),
+                      bottleneck_bps=mbps(15))
+        period = PulseTrain.period_from_gamma(**kwargs)
+        train = PulseTrain.from_gamma(n_pulses=4, **kwargs)
+        assert train.period == pytest.approx(period)
+        assert period == pytest.approx(
+            mbps(30) * ms(100) / (0.5 * mbps(15))
+        )
+
+    def test_clamped_at_gamma_equal_to_c_attack(self):
+        # gamma == C_attack -> zero spacing; the clamp floors the
+        # period at the extent and from_gamma agrees.
+        kwargs = dict(gamma=0.5, rate_bps=mbps(7.5), extent=ms(100),
+                      bottleneck_bps=mbps(15))
+        period = PulseTrain.period_from_gamma(**kwargs)
+        assert period == pytest.approx(ms(100))
+        train = PulseTrain.from_gamma(n_pulses=3, **kwargs)
+        assert train.space == pytest.approx(0.0)

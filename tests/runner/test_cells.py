@@ -1,0 +1,140 @@
+"""Cell / PlatformSpec / DeploymentSpec specs and the pure executor."""
+
+import pickle
+
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.core.distributed import split_interleaved
+from repro.runner import Cell, DeploymentSpec, PlatformSpec, execute_cell
+from repro.sim.tcp import TCPConfig, TCPVariant
+from repro.sim.topology import DumbbellConfig
+from repro.testbed.dummynet import TestbedConfig
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+def small_train(n_pulses=3):
+    return PulseTrain.from_gamma(
+        gamma=0.5, rate_bps=mbps(30), extent=ms(100),
+        bottleneck_bps=mbps(15), n_pulses=n_pulses,
+    )
+
+
+class TestPlatformSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            PlatformSpec(kind="emulab", n_flows=5, seed=1)
+
+    def test_rejects_unknown_queue(self):
+        with pytest.raises(ValidationError, match="queue"):
+            PlatformSpec(kind="dumbbell", n_flows=5, seed=1, queue="codel")
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ValidationError, match="n_flows"):
+            PlatformSpec(kind="dumbbell", n_flows=0, seed=1)
+
+    def test_dumbbell_config_carries_spec_fields(self):
+        tcp = TCPConfig(variant=TCPVariant.SACK)
+        spec = PlatformSpec(kind="dumbbell", n_flows=7, seed=3,
+                            queue="droptail", tcp=tcp)
+        config = spec.to_config()
+        assert isinstance(config, DumbbellConfig)
+        assert config.n_flows == 7
+        assert config.seed == 3
+        assert config.tcp is tcp
+
+    def test_testbed_config_carries_spec_fields(self):
+        spec = PlatformSpec(kind="testbed", n_flows=4, seed=9, use_red=False)
+        config = spec.to_config()
+        assert isinstance(config, TestbedConfig)
+        assert config.n_flows == 4
+        assert config.seed == 9
+        assert not config.use_red
+
+    def test_hashable_and_picklable(self):
+        spec = PlatformSpec(kind="dumbbell", n_flows=5, seed=1,
+                            tcp=TCPConfig())
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_describe_scopes_discipline_by_kind(self):
+        dumbbell = PlatformSpec(kind="dumbbell", n_flows=5, seed=1)
+        testbed = PlatformSpec(kind="testbed", n_flows=5, seed=1)
+        assert "queue" in dumbbell.describe()
+        assert "use_red" in testbed.describe()
+
+
+class TestDeploymentSpec:
+    def test_from_attack_duckwraps_trains_and_offsets(self):
+        split = split_interleaved(small_train(4), 2)
+        spec = DeploymentSpec.from_attack(split)
+        assert spec.trains == tuple(split.trains)
+        assert spec.offsets == tuple(split.offsets)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="offsets"):
+            DeploymentSpec(trains=(small_train(),), offsets=(0.0, 1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            DeploymentSpec(trains=(), offsets=())
+
+
+class TestCell:
+    def platform(self, kind="dumbbell"):
+        return PlatformSpec(kind=kind, n_flows=2, seed=1)
+
+    def test_train_and_deployment_mutually_exclusive(self):
+        deployment = DeploymentSpec.from_attack(
+            split_interleaved(small_train(4), 2)
+        )
+        with pytest.raises(ValidationError, match="not both"):
+            Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                 train=small_train(), deployment=deployment)
+
+    def test_deployment_needs_dumbbell(self):
+        deployment = DeploymentSpec.from_attack(
+            split_interleaved(small_train(4), 2)
+        )
+        with pytest.raises(ValidationError, match="dumbbell"):
+            Cell(platform=self.platform("testbed"), warmup=1.0, window=2.0,
+                 deployment=deployment)
+
+    def test_rate_floor_needs_dumbbell(self):
+        with pytest.raises(ValidationError, match="dumbbell"):
+            Cell(platform=self.platform("testbed"), warmup=1.0, window=2.0,
+                 rate_floor_bps=mbps(1))
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Cell(platform=self.platform(), warmup=1.0, window=0.0)
+
+    def test_describe_round_trips_through_json(self):
+        import json
+
+        cell = Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                    train=small_train())
+        blob = json.dumps(cell.describe(), sort_keys=True)
+        assert json.loads(blob) == cell.describe()
+
+
+class TestExecuteCell:
+    def test_deterministic_re_execution(self):
+        cell = Cell(
+            platform=PlatformSpec(kind="dumbbell", n_flows=2, seed=11),
+            warmup=1.0, window=2.0, train=small_train(),
+        )
+        first = execute_cell(cell)
+        second = execute_cell(cell)
+        assert first.goodput_bytes == second.goodput_bytes
+        assert first.flagged_sources is None
+
+    def test_detector_reports_flagged_sources(self):
+        train = small_train(4)
+        cell = Cell(
+            platform=PlatformSpec(kind="dumbbell", n_flows=2, seed=11),
+            warmup=1.0, window=2.0, train=train,
+            rate_floor_bps=0.3 * train.mean_rate_bps(),
+        )
+        result = execute_cell(cell)
+        assert result.flagged_sources == 1

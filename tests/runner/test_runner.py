@@ -1,0 +1,170 @@
+"""The executor: determinism, dedup, caching, parallel fan-out, stats."""
+
+import time
+
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.experiments.base import DumbbellPlatform, run_gain_sweep
+from repro.runner import (
+    Cell,
+    ExperimentRunner,
+    PlatformSpec,
+    get_default_runner,
+    set_default_runner,
+)
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+def make_cell(seed=11, gamma=0.5, window=2.0):
+    return Cell(
+        platform=PlatformSpec(kind="dumbbell", n_flows=2, seed=seed),
+        warmup=1.0,
+        window=window,
+        train=PulseTrain.from_gamma(
+            gamma=gamma, rate_bps=mbps(30), extent=ms(100),
+            bottleneck_bps=mbps(15), n_pulses=4,
+        ),
+    )
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValidationError, match="jobs"):
+            ExperimentRunner(jobs=0)
+
+
+class TestDeterminism:
+    def test_serial_worker_and_cache_agree_bitwise(self, tmp_path):
+        cells = [make_cell(seed=11), make_cell(seed=12)]
+
+        serial = ExperimentRunner(jobs=1).measure_many(cells)
+        parallel = ExperimentRunner(jobs=2).measure_many(cells)
+
+        caching = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        first = caching.measure_many(cells)
+        replayed = ExperimentRunner(jobs=1, cache_dir=tmp_path).measure_many(
+            cells
+        )
+
+        goodputs = [
+            [result.goodput_bytes for result in batch]
+            for batch in (serial, parallel, first, replayed)
+        ]
+        assert goodputs[0] == goodputs[1] == goodputs[2] == goodputs[3]
+
+
+class TestDedupAndMemo:
+    def test_identical_cells_measured_once(self):
+        runner = ExperimentRunner(jobs=1)
+        results = runner.measure_many([make_cell(), make_cell()])
+        assert runner.stats.executed == 1
+        assert results[0].goodput_bytes == results[1].goodput_bytes
+
+    def test_memo_serves_repeat_batches(self):
+        runner = ExperimentRunner(jobs=1)
+        first = runner.measure(make_cell())
+        again = runner.measure(make_cell())
+        assert runner.stats.executed == 1
+        assert runner.stats.memo_hits == 1
+        assert first.goodput_bytes == again.goodput_bytes
+
+    def test_results_return_in_input_order(self):
+        runner = ExperimentRunner(jobs=2)
+        cells = [make_cell(seed=s) for s in (21, 22, 21, 23)]
+        results = runner.measure_many(cells)
+        assert results[0].goodput_bytes == results[2].goodput_bytes
+        solo = {
+            seed: ExperimentRunner().measure(make_cell(seed=s)).goodput_bytes
+            for seed, s in zip((21, 22, 23), (21, 22, 23))
+        }
+        assert [r.goodput_bytes for r in results] == [
+            solo[21], solo[22], solo[21], solo[23],
+        ]
+
+
+class TestCachePersistence:
+    def test_cache_survives_runner_instances(self, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path)
+        first.measure(make_cell())
+        assert first.stats.executed == 1
+
+        second = ExperimentRunner(cache_dir=tmp_path)
+        second.measure(make_cell())
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == 1
+
+    def test_cached_rerun_at_least_5x_faster(self, tmp_path):
+        cell = make_cell(window=4.0)
+
+        started = time.perf_counter()
+        warm = ExperimentRunner(cache_dir=tmp_path)
+        warm.measure(cell)
+        executed_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        ExperimentRunner(cache_dir=tmp_path).measure(cell)
+        cached_wall = time.perf_counter() - started
+
+        assert executed_wall >= 5.0 * cached_wall
+
+    def test_no_cache_dir_means_no_disk_io(self):
+        runner = ExperimentRunner()
+        assert runner.cache is None
+        runner.measure(make_cell())
+        assert runner.stats.executed == 1
+
+
+class TestStats:
+    def test_checkpoint_delta_counts_only_new_cells(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.measure(make_cell())
+        mark = runner.stats.checkpoint()
+        runner.measure(make_cell())          # memo hit
+        runner.measure(make_cell(seed=99))   # fresh execution
+        delta = runner.stats.since(mark)
+        assert "cells: 2" in delta
+        assert "1 executed" in delta
+        assert "1 memo hits" in delta
+
+    def test_summary_totals(self):
+        runner = ExperimentRunner()
+        runner.measure_many([make_cell(), make_cell(seed=77)])
+        assert "cells: 2 (2 executed" in runner.stats.summary()
+        assert runner.stats.cells == 2
+
+
+class TestDefaultRunner:
+    def test_env_configures_lazy_default(self, monkeypatch, tmp_path):
+        set_default_runner(None)
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = get_default_runner()
+        assert runner.jobs == 3
+        assert runner.cache.directory == tmp_path
+
+    def test_set_returns_previous(self):
+        installed = ExperimentRunner(jobs=2)
+        set_default_runner(None)
+        assert set_default_runner(installed) is None
+        assert get_default_runner() is installed
+
+
+class TestSweepIntegration:
+    def test_parallel_sweep_equals_serial_sweep(self):
+        kwargs = dict(
+            rate_bps=mbps(30), extent=ms(100), gammas=(0.4, 0.7),
+            warmup=1.0, window=3.0,
+        )
+        serial = run_gain_sweep(
+            DumbbellPlatform(n_flows=2, seed=5), runner=ExperimentRunner(),
+            **kwargs,
+        )
+        parallel = run_gain_sweep(
+            DumbbellPlatform(n_flows=2, seed=5),
+            runner=ExperimentRunner(jobs=2), **kwargs,
+        )
+        assert [p.measured_degradation for p in serial.points] == [
+            p.measured_degradation for p in parallel.points
+        ]

@@ -132,6 +132,33 @@ class TestRunControl:
         with pytest.raises(SimulationError, match="max_events"):
             sim.run(until=100.0, max_events=50)
 
+    def test_max_events_stops_before_dispatching_the_excess_event(self, sim):
+        # The budget is checked before dispatch: exactly max_events
+        # events execute, never max_events + 1.
+        fired = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.events_executed == 5
+
+    def test_max_events_budget_exactly_sufficient(self, sim):
+        # A heap holding exactly max_events events drains cleanly.
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        assert sim.run(max_events=5) == 5
+
+    def test_cancelled_events_do_not_consume_the_budget(self, sim):
+        fired = []
+        events = [
+            sim.schedule(0.1 * (i + 1), fired.append, i) for i in range(4)
+        ]
+        events[1].cancel()
+        events[2].cancel()
+        assert sim.run(max_events=2) == 2
+        assert fired == [0, 3]
+
     def test_stop_halts_immediately(self, sim):
         fired = []
 

@@ -90,6 +90,20 @@ class TestREDAverage:
                             idle_since=9.0))
         assert q.avg < peak * 0.5
 
+    def test_idle_arrival_folds_sample_after_decay(self):
+        # ns-2 semantics: an arrival ending an idle period decays the
+        # average by (1-w_q)^m over the idle gap and THEN applies the
+        # normal w_q update with its own queue sample -- it must not
+        # skip the sample fold.
+        q = make_red(service_rate_bps=15e6, w_q=0.02)
+        q.avg = 40.0
+        q.admit(1500, state(queue_bytes=0, queue_pkts=0, now=10.0,
+                            idle_since=9.999))
+        service = 1000.0 * 8.0 / 15e6  # mean-size packet transmission time
+        m = 0.001 / service
+        expected = 40.0 * (1.0 - 0.02) ** m * (1.0 - 0.02)  # decay, then q=0
+        assert q.avg == pytest.approx(expected, rel=1e-9)
+
     def test_byte_mode_measures_bytes(self):
         q = make_red(byte_mode=True, min_th=20_000.0, max_th=80_000.0)
         for _ in range(100):

@@ -27,6 +27,20 @@ class TestParser:
         args = build_parser().parse_args(["fig04", "-o", str(tmp_path)])
         assert args.output_dir == tmp_path
 
+    def test_runner_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig06", "-j", "4", "--no-cache", "--cache-dir", str(tmp_path)]
+        )
+        assert args.jobs == 4
+        assert args.no_cache
+        assert args.cache_dir == tmp_path
+
+    def test_runner_flag_defaults(self):
+        args = build_parser().parse_args(["fig06"])
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert args.cache_dir is None
+
 
 class TestMain:
     def test_list_prints_catalogue(self, capsys):
@@ -46,3 +60,18 @@ class TestMain:
         import os
         main(["fig04", "--full"])
         assert os.environ.get("REPRO_FULL") == "1"
+
+    def test_installs_configured_default_runner(self, capsys, tmp_path):
+        from repro.runner import get_default_runner
+
+        assert main(["fig04", "-j", "2", "--cache-dir", str(tmp_path)]) == 0
+        runner = get_default_runner()
+        assert runner.jobs == 2
+        assert runner.cache.directory == tmp_path
+        assert "[total: cells:" in capsys.readouterr().out
+
+    def test_no_cache_disables_disk_cache(self, capsys):
+        from repro.runner import get_default_runner
+
+        assert main(["fig04", "--no-cache"]) == 0
+        assert get_default_runner().cache is None
