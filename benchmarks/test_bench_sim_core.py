@@ -1,0 +1,80 @@
+"""Bench: simulator-core events/sec on the canonical dumbbell scenario.
+
+Unlike the figure benches this one measures the *engine itself*: it
+builds the paper's Fig. 5 dumbbell (15 NewReno flows over a 15 Mb/s RED
+bottleneck), launches the canonical γ = 0.5, 100 ms-extent pulse train,
+and times the raw event loop with no runner, cache, or monitors in the
+way.  The recorded events/sec is the repo's performance trajectory for
+the simulation hot path; results accumulate in
+``benchmarks/results/sim_core.txt`` so regressions are visible per-PR.
+
+Scale: 30 simulated seconds by default, 60 with ``REPRO_FULL=1``.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.attack import PulseTrain
+from repro.sim.topology import DumbbellConfig, build_dumbbell
+from repro.util.units import mbps, ms
+
+#: Attack starts after the flows have left slow start.
+WARMUP = 2.0
+
+
+def _horizon() -> float:
+    full = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+    return 60.0 if full else 30.0
+
+
+def _build_scenario(horizon: float):
+    config = DumbbellConfig()  # the paper's defaults: 15 flows, RED
+    net = build_dumbbell(config)
+    train = PulseTrain.from_gamma(
+        gamma=0.5, rate_bps=mbps(30), extent=ms(100),
+        bottleneck_bps=config.bottleneck_rate_bps,
+        n_pulses=int(horizon / 0.2) + 2,
+    )
+    net.start_flows()
+    source = net.add_attack(train, start_time=WARMUP)
+    source.start()
+    return net
+
+
+def _run_sim_core():
+    horizon = _horizon()
+    net = _build_scenario(horizon)
+    started = time.perf_counter()
+    net.run(until=horizon)
+    wall = time.perf_counter() - started
+    events = net.sim.events_executed
+    return {
+        "horizon": horizon,
+        "events": events,
+        "wall": wall,
+        "events_per_sec": events / wall,
+        "goodput_bytes": net.aggregate_goodput_bytes(),
+        "bottleneck_packets": net.bottleneck.packets_sent,
+        "attack_packets": net.attack_sources[0].packets_emitted,
+    }
+
+
+def test_bench_sim_core(benchmark, record_result):
+    stats = run_once(benchmark, _run_sim_core)
+    record_result("sim_core", (
+        "sim-core microbenchmark (canonical dumbbell, gamma=0.5, "
+        f"T_extent=100ms, {stats['horizon']:.0f}s simulated)\n"
+        f"events executed : {stats['events']}\n"
+        f"wall time       : {stats['wall']:.3f} s\n"
+        f"events/sec      : {stats['events_per_sec']:.0f}\n"
+        f"goodput_bytes   : {stats['goodput_bytes']:.0f}\n"
+        f"bottleneck pkts : {stats['bottleneck_packets']}\n"
+        f"attack pkts     : {stats['attack_packets']}"
+    ))
+
+    # The scenario must be busy enough to be a meaningful measurement.
+    assert stats["events"] > 100_000
+    # Sanity: the attack ran and TCP still delivered data.
+    assert stats["attack_packets"] > 0
+    assert stats["goodput_bytes"] > 0

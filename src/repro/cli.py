@@ -18,6 +18,12 @@ sweeps); ``-o DIR`` additionally writes each rendering to
 processes; ``--cache-dir DIR`` / ``--no-cache`` control the on-disk
 result cache (default: ``$XDG_CACHE_HOME/repro-pdos``).  Results are
 bit-identical regardless of job count or cache state.
+
+``--profile`` wraps each experiment in :func:`repro.sim.profile.profile_run`
+and prints wall time, simulator events/sec, and the hottest functions
+after the rendering.  Profile the default serial mode (``--jobs 1``,
+ideally ``--no-cache``): cells executed by worker processes or answered
+from the cache dispatch no simulator events in this process.
 """
 
 from __future__ import annotations
@@ -182,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale sweeps (sets REPRO_FULL=1; much slower)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run each experiment under cProfile and print wall time, "
+             "simulator events/sec, and the hottest functions (results "
+             "are unchanged; profiling is observation only)",
+    )
+    parser.add_argument(
         "-o", "--output-dir", type=pathlib.Path, default=None,
         help="also write each rendering to DIR/<name>.txt",
     )
@@ -213,12 +225,19 @@ def _make_runner(args):  # deferred import keeps `--help` fast
     return ExperimentRunner(jobs=args.jobs, cache_dir=cache_dir)
 
 
-def _run_one(name: str, output_dir, runner=None) -> None:
+def _run_one(name: str, output_dir, runner=None, profile=False) -> None:
     started = time.time()
     mark = runner.stats.checkpoint() if runner is not None else None
-    text = EXPERIMENTS[name]()
+    if profile:
+        from repro.sim.profile import profile_run
+        text, report = profile_run(EXPERIMENTS[name], label=name)
+    else:
+        text = EXPERIMENTS[name]()
+        report = None
     elapsed = time.time() - started
     print(text)
+    if report is not None:
+        print(report.render())
     if mark is not None:
         print(f"[{name}: {elapsed:.1f}s; {runner.stats.since(mark)}]\n")
     else:
@@ -241,7 +260,7 @@ def main(argv=None) -> int:
     set_default_runner(runner)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, args.output_dir, runner)
+        _run_one(name, args.output_dir, runner, profile=args.profile)
     print(f"[total: {runner.stats.summary()}]")
     return 0
 

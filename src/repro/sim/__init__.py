@@ -13,6 +13,7 @@ the equivalent substrate built from scratch:
 * :mod:`repro.sim.workload` -- finite-transfer ("mice") workloads;
 * :mod:`repro.sim.topology` -- the Fig. 5 dumbbell builder;
 * :mod:`repro.sim.trace` -- rate / drop / queue instrumentation;
+* :mod:`repro.sim.profile` -- cProfile wrapper reporting events/sec;
 * :mod:`repro.sim.tracefile` -- ns-2-format trace file writer/parser.
 """
 
@@ -21,6 +22,7 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node
 from repro.sim.packet import Packet, PacketKind
+from repro.sim.profile import ProfileReport, profile_run
 from repro.sim.queues import (
     CHOKeQueue,
     DropTailQueue,
@@ -54,6 +56,7 @@ __all__ = [
     "Node",
     "Packet",
     "PacketKind",
+    "ProfileReport",
     "PulseAttackSource",
     "QueueDiscipline",
     "QueueSampler",
@@ -71,5 +74,6 @@ __all__ = [
     "build_dumbbell",
     "make_droptail_queue",
     "make_red_queue",
+    "profile_run",
     "read_trace",
 ]

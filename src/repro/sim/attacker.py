@@ -9,6 +9,7 @@ source.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.attack import PulseTrain
@@ -71,23 +72,31 @@ class PulseAttackSource:
         self._emit(index, end, gap)
 
     def _emit(self, index: int, end: float, gap: float) -> None:
-        now = self.sim.now
+        # Per-datagram hot path: a high-rate pulse makes attack packets
+        # the largest packet population in the scenario, so the chain
+        # carries its per-pulse constants (pulse index, end, gap) as
+        # event args and builds each datagram positionally.
+        sim = self.sim
+        now = sim._now
         if now >= end:
             return
+        size = self.packet_bytes
         packet = Packet(
-            PacketKind.ATTACK,
-            flow_id=self.flow_id,
-            src=self.node.node_id,
-            dst=self.dst_node_id,
-            size_bytes=self.packet_bytes,
-            seq=index,
-            sent_at=now,
+            PacketKind.ATTACK, self.flow_id, self.node.node_id,
+            self.dst_node_id, size, index, None, now,
         )
         self.packets_emitted += 1
-        self.bytes_emitted += self.packet_bytes
+        self.bytes_emitted += size
         self.node.send(packet)
-        if now + gap < end:
-            self.sim.schedule(gap, self._emit, index, end, gap)
+        next_at = now + gap
+        if next_at < end:
+            # Inlined sim.schedule_at (next_at > now by construction).
+            # The chain is never cancelled, so a bare heap entry -- no
+            # Event handle -- is enough.
+            heappush(
+                sim._heap,
+                [next_at, next(sim._counter), self._emit, (index, end, gap)],
+            )
 
 
 class CBRSource:
@@ -114,6 +123,9 @@ class CBRSource:
         self.start_time = check_non_negative("start_time", start_time)
         self.stop_time = stop_time
         self.packets_emitted = 0
+        self.bytes_emitted = 0.0
+        #: constant inter-packet gap at the configured rate.
+        self._gap = packet_bytes * 8.0 / rate_bps
         self._started = False
 
     def start(self) -> None:
@@ -124,17 +136,17 @@ class CBRSource:
         self.sim.schedule_at(max(self.start_time, self.sim.now), self._emit)
 
     def _emit(self) -> None:
-        now = self.sim.now
+        sim = self.sim
+        now = sim._now
         if self.stop_time is not None and now >= self.stop_time:
             return
+        size = self.packet_bytes
         packet = Packet(
-            PacketKind.CBR,
-            flow_id=self.flow_id,
-            src=self.node.node_id,
-            dst=self.dst_node_id,
-            size_bytes=self.packet_bytes,
-            sent_at=now,
+            PacketKind.CBR, self.flow_id, self.node.node_id,
+            self.dst_node_id, size, None, None, now,
         )
         self.packets_emitted += 1
+        self.bytes_emitted += size
         self.node.send(packet)
-        self.sim.schedule(self.packet_bytes * 8.0 / self.rate_bps, self._emit)
+        # Inlined sim.schedule_at; the chain is never cancelled.
+        heappush(sim._heap, [now + self._gap, next(sim._counter), self._emit, ()])

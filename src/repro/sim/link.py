@@ -19,10 +19,17 @@ Each link is unidirectional; duplex connectivity uses two links.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.sim.engine import Event
 from repro.sim.packet import Packet
-from repro.sim.queues import DropTailQueue, QueueDiscipline, QueueState
+from repro.sim.queues import (
+    DropTailQueue,
+    QueueDiscipline,
+    QueueState,
+    REDQueue,
+)
 from repro.util.validate import check_non_negative, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,6 +73,9 @@ class BufferedPacket:
 class Link:
     """A unidirectional link from ``src`` to ``dst``.
 
+    ``__slots__`` keeps per-packet attribute loads in :meth:`send` off
+    the instance-dict path.
+
     Args:
         sim: the event engine.
         src / dst: endpoint nodes; the link auto-registers itself as
@@ -75,6 +85,14 @@ class Link:
         queue: buffer discipline; defaults to a 64 KiB drop-tail queue.
         name: label used in traces and repr.
     """
+
+    __slots__ = (
+        "sim", "src", "dst", "rate_bps", "delay", "queue", "name",
+        "_departures", "_queued_bytes", "_busy_until", "_track_buffer",
+        "_tx_time", "_fast_admit", "_red_admit", "bytes_sent",
+        "packets_sent", "bytes_dropped", "packets_dropped",
+        "peak_queue_bytes", "monitors", "_deliver",
+    )
 
     def __init__(
         self,
@@ -101,6 +119,21 @@ class Link:
         self._queued_bytes = 0.0
         self._busy_until = 0.0
         self._track_buffer = getattr(self.queue, "needs_buffer_access", False)
+        # Per-size serialization times, memoized with the exact
+        # ``size * 8.0 / rate`` arithmetic so cached and uncached lookups
+        # are bit-identical.  Traffic uses a handful of distinct sizes.
+        self._tx_time: dict = {}
+        # Plain tail-drop admission needs neither a QueueState nor the
+        # idle bookkeeping; Link.send inlines it.  Exact-type check: a
+        # subclass may override admit().
+        self._fast_admit = (
+            type(self.queue) is DropTailQueue and not self._track_buffer
+        )
+        # RED admission on raw values (no QueueState) -- exact-type check
+        # so subclasses (CHOKe) keep the composed reference path.
+        self._red_admit = (
+            self.queue.admit_values if type(self.queue) is REDQueue else None
+        )
 
         # Statistics.
         self.bytes_sent = 0.0
@@ -112,6 +145,9 @@ class Link:
         #: Monitors invoked on every arrival at the link's ingress with
         #: ``(packet, time, accepted)``.  Used by rate/drop tracers.
         self.monitors: List[LinkMonitor] = []
+
+        #: cached bound method: every delivery dispatches to dst.receive.
+        self._deliver = dst.receive
 
         src.attach_link(dst.node_id, self)
 
@@ -147,6 +183,10 @@ class Link:
         waiting packet were necessarily enqueued back-to-back -- no idle
         gap can exist behind a backlog.
         """
+        # Expire finished transmissions first: a stale handle for a packet
+        # that already departed must be a no-op, not a reschedule of
+        # trailing deliveries into the past.
+        self._expire_departed(self.sim._now)
         try:
             self._departures.remove(entry)
         except ValueError:
@@ -193,42 +233,107 @@ class Link:
 
     def transmission_time(self, size_bytes: float) -> float:
         """Serialization time of *size_bytes* on this link, seconds."""
-        return size_bytes * 8.0 / self.rate_bps
+        tx = self._tx_time.get(size_bytes)
+        if tx is None:
+            tx = self._tx_time[size_bytes] = size_bytes * 8.0 / self.rate_bps
+        return tx
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
-        """Offer *packet* to the link; returns False if the buffer dropped it."""
-        now = self.sim.now
-        state = self.queue_state()
-        if self._track_buffer:
-            accepted = self.queue.admit_with_link(packet, state, self)
-        else:
-            accepted = self.queue.admit(packet.size_bytes, state)
+        """Offer *packet* to the link; returns False if the buffer dropped it.
 
-        for monitor in self.monitors:
-            monitor(packet, now, accepted)
+        This is the per-packet hot path (every hop of every packet lands
+        here), so departed-entry expiry is fused in, the drop-tail admit
+        check is inlined without building a :class:`QueueState`, and the
+        monitor loop is skipped when nothing is attached.
+        """
+        sim = self.sim
+        now = sim._now
+        size = packet.size_bytes
+        queue = self.queue
+
+        # Expire entries that have finished serialization (was
+        # _expire_departed; fused to keep the occupancy in a local).
+        departures = self._departures
+        queued = self._queued_bytes
+        while departures and departures[0][0] <= now:
+            queued -= departures.popleft()[1]
+        if not departures:
+            queued = 0.0  # guard against float drift
+        self._queued_bytes = queued
+
+        if self._fast_admit:
+            # Inlined DropTailQueue.admit: fits-or-drop on raw occupancy.
+            if queued + size <= queue.capacity_bytes:
+                queue.accepts += 1
+                accepted = True
+            else:
+                queue.drops += 1
+                accepted = False
+        else:
+            idle_since: Optional[float] = None
+            if not departures:
+                # Idle since the last transmission finished (0.0 if never
+                # used).
+                busy = self._busy_until
+                idle_since = busy if busy < now else now
+            red_admit = self._red_admit
+            if red_admit is not None:
+                accepted = red_admit(
+                    size, queued, len(departures), now, idle_since,
+                )
+            elif self._track_buffer:
+                state = QueueState(queued, len(departures), now, idle_since)
+                accepted = self.queue.admit_with_link(packet, state, self)
+            else:
+                state = QueueState(queued, len(departures), now, idle_since)
+                accepted = self.queue.admit(size, state)
+
+        monitors = self.monitors
+        if monitors:
+            for monitor in monitors:
+                monitor(packet, now, accepted)
 
         if not accepted:
-            self.bytes_dropped += packet.size_bytes
+            self.bytes_dropped += size
             self.packets_dropped += 1
             return False
 
-        start = max(now, self._busy_until)
-        departure = start + self.transmission_time(packet.size_bytes)
+        # Re-read busy/queued state: a match-and-drop discipline may have
+        # evicted a buffered packet during admission.
+        busy = self._busy_until
+        start = now if busy < now else busy
+        tx = self._tx_time.get(size)
+        if tx is None:
+            tx = self._tx_time[size] = size * 8.0 / self.rate_bps
+        departure = start + tx
         self._busy_until = departure
-        event = self.sim.schedule_at(departure + self.delay,
-                                     self.dst.receive, packet)
+        # Inlined sim.schedule_at: the delivery time can never precede the
+        # clock (departure >= now and delay >= 0), so the past-check is
+        # statically satisfied and the entry goes straight onto the heap.
+        # Only buffer-tracking links need an Event handle (evict() must
+        # cancel in-flight deliveries); otherwise a bare list entry --
+        # same layout, no subclass construction -- is enough.
         if self._track_buffer:
-            self._departures.append(BufferedPacket(
-                departure, packet.size_bytes, packet, event,
-            ))
+            event = Event(
+                (departure + self.delay, next(sim._counter), self._deliver,
+                 (packet,)),
+            )
+            heappush(sim._heap, event)
+            departures.append(BufferedPacket(departure, size, packet, event))
         else:
-            self._departures.append((departure, packet.size_bytes))
-        self._queued_bytes += packet.size_bytes
-        if self._queued_bytes > self.peak_queue_bytes:
-            self.peak_queue_bytes = self._queued_bytes
+            heappush(
+                sim._heap,
+                [departure + self.delay, next(sim._counter), self._deliver,
+                 (packet,)],
+            )
+            departures.append((departure, size))
+        queued = self._queued_bytes + size
+        self._queued_bytes = queued
+        if queued > self.peak_queue_bytes:
+            self.peak_queue_bytes = queued
 
-        self.bytes_sent += packet.size_bytes
+        self.bytes_sent += size
         self.packets_sent += 1
         packet.hops += 1
         return True

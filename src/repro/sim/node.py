@@ -23,7 +23,16 @@ __all__ = ["Node"]
 
 
 class Node:
-    """A network node (host or router)."""
+    """A network node (host or router).
+
+    ``__slots__`` keeps the per-hop attribute loads in :meth:`receive`
+    off the instance-dict path.
+    """
+
+    __slots__ = (
+        "sim", "node_id", "name", "_links", "_routes", "_agents",
+        "undeliverable",
+    )
 
     def __init__(self, sim: "Simulator", node_id: int, name: str = "") -> None:
         self.sim = sim
@@ -79,7 +88,11 @@ class Node:
     # data path
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
-        """Entry point for packets arriving from a link (or locally injected)."""
+        """Entry point for packets arriving from a link (or locally injected).
+
+        Every hop dispatches through here, so the forwarding lookup is
+        inlined rather than delegated to :meth:`forward`.
+        """
         if packet.dst == self.node_id:
             agent = self._agents.get(packet.flow_id)
             if agent is None:
@@ -87,7 +100,11 @@ class Node:
                 return
             agent(packet)
             return
-        self.forward(packet)
+        next_hop = self._routes.get(packet.dst)
+        if next_hop is None:
+            self.undeliverable += 1
+            return
+        self._links[next_hop].send(packet)
 
     def forward(self, packet: Packet) -> None:
         """Send *packet* toward its destination via the routing table.

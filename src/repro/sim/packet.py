@@ -55,6 +55,17 @@ class Packet:
 
     _uid_counter = itertools.count()
 
+    @classmethod
+    def reset_uids(cls) -> None:
+        """Restart uid numbering from 0.
+
+        Scenario builders call this so back-to-back in-process runs
+        number their packets identically -- with a process-global
+        counter, a rerun of the same scenario would otherwise produce a
+        different (run-order-dependent) uid stream in its traces.
+        """
+        cls._uid_counter = itertools.count()
+
     def __init__(
         self,
         kind: PacketKind,

@@ -187,8 +187,83 @@ class REDQueue(QueueDiscipline):
         return min(p_b, 1.0)
 
     def admit(self, pkt_bytes: float, state: QueueState) -> bool:
-        self._update_average(state)
-        return self._admit_updated(pkt_bytes, state)
+        return self.admit_values(
+            pkt_bytes, state.queue_bytes, state.queue_pkts, state.now,
+            state.idle_since,
+        )
+
+    def admit_values(self, pkt_bytes: float, queue_bytes: float,
+                     queue_pkts: int, now: float,
+                     idle_since: Optional[float]) -> bool:
+        """RED admission on raw queue state, no :class:`QueueState` needed.
+
+        The link's per-arrival hot path calls this directly.  The body
+        fuses :meth:`_update_average`, :meth:`_drop_probability`, and
+        :meth:`_admit_updated` -- those remain the reference
+        implementation (CHOKe's match-and-drop path composes them) and
+        this method must stay arithmetically in lockstep with them:
+        same operations, same order, same single ``rng.random()`` draw.
+        """
+        # --- EWMA update (= _update_average) ---------------------------
+        q = queue_bytes if self.byte_mode else float(queue_pkts)
+        w_q = self.w_q
+        avg = self.avg
+        if q <= 0 and idle_since is not None:
+            service = self._mean_service_time or 0.001
+            m = max(0.0, (now - idle_since) / service)
+            avg *= (1.0 - w_q) ** m
+        avg = (1.0 - w_q) * avg + w_q * q
+        self.avg = avg
+
+        # --- forced (overflow) drop (= _fits check) --------------------
+        if queue_bytes + pkt_bytes > self.capacity_bytes:
+            self.count = 0
+            self.drops += 1
+            return False
+
+        # --- early-drop probability (= _drop_probability) --------------
+        min_th = self.min_th
+        max_th = self.max_th
+        if avg < min_th:
+            self.count = -1
+            self.accepts += 1
+            return True
+        on_ramp = True
+        if avg < max_th:
+            p_b = self.max_p * (avg - min_th) / (max_th - min_th)
+        elif self.gentle and avg < 2.0 * max_th:
+            p_b = self.max_p + (1.0 - self.max_p) * (avg - max_th) / max_th
+        else:
+            # Past the (gentle) ramp: certain drop, no byte scaling.
+            p_b = 1.0
+            on_ramp = False
+        if on_ramp:
+            if self.byte_mode:
+                p_b *= pkt_bytes / self.mean_pkt_bytes
+            if p_b > 1.0:
+                p_b = 1.0
+
+        # --- inter-drop count correction (= _admit_updated) ------------
+        if p_b >= 1.0:
+            self.count = 0
+            self.drops += 1
+            self.early_drops += 1
+            return False
+        if p_b > 0.0:
+            count = self.count + 1
+            self.count = count
+            denominator = 1.0 - count * p_b
+            p_a = 1.0 if denominator <= 0 else min(1.0, p_b / denominator)
+            if self.rng.random() < p_a:
+                self.count = 0
+                self.drops += 1
+                self.early_drops += 1
+                return False
+        else:
+            self.count = -1
+
+        self.accepts += 1
+        return True
 
     def _admit_updated(self, pkt_bytes: float, state: QueueState) -> bool:
         """The RED decision after the average has been updated."""

@@ -109,13 +109,8 @@ class TCPReceiver:
         self._unacked_inorder = 0
         self._pending_echo = NO_ECHO
         ack = Packet(
-            PacketKind.ACK,
-            flow_id=self.flow_id,
-            src=self.node.node_id,
-            dst=self.sender_node_id,
-            size_bytes=ACK_SIZE_BYTES,
-            ack=self.cumack,
-            sent_at=echo,
+            PacketKind.ACK, self.flow_id, self.node.node_id,
+            self.sender_node_id, ACK_SIZE_BYTES, None, self.cumack, echo,
         )
         if self.config.variant is TCPVariant.SACK and self._out_of_order:
             ack.sack = sack_blocks_from_set(self._out_of_order)

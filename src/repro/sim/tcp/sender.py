@@ -204,14 +204,9 @@ class TCPSender:
         retransmit = seq <= self.highest_sent
         self.highest_sent = max(self.highest_sent, seq)
         packet = Packet(
-            PacketKind.DATA,
-            flow_id=self.flow_id,
-            src=self.node.node_id,
-            dst=self.receiver_node_id,
-            size_bytes=self.config.mss + TCP_HEADER_BYTES,
-            seq=seq,
-            sent_at=now,
-            retransmit=retransmit,
+            PacketKind.DATA, self.flow_id, self.node.node_id,
+            self.receiver_node_id, self.config.mss + TCP_HEADER_BYTES,
+            seq, None, now, retransmit,
         )
         self.segments_sent += 1
         if retransmit:
@@ -255,9 +250,15 @@ class TCPSender:
         # send-time table -- both must agree the segment was not resent).
         if echo != _NO_ECHO and echo >= 0:
             self.rto_estimator.sample(self.sim.now - echo)
-        for seq in list(self._send_times):
-            if seq <= ack:
-                del self._send_times[seq]
+        # _send_times is insertion-ordered by ascending seq (new sends only
+        # append higher seqs; retransmissions pop), so the acked prefix can
+        # be peeled off the front without rescanning the whole window.
+        send_times = self._send_times
+        while send_times:
+            seq = next(iter(send_times))
+            if seq > ack:
+                break
+            del send_times[seq]
 
         self.rto_estimator.reset_backoff()
 

@@ -85,15 +85,24 @@ class RateMonitor:
 
 
 class DropMonitor:
-    """Records ``(time, flow_id, is_attack)`` for every dropped arrival."""
+    """Records ``(time, flow_id, is_attack)`` for every dropped arrival.
+
+    :attr:`legit_drops` / :attr:`attack_drops` are running counters kept
+    on each observation, so querying them mid-run (e.g. a per-pulse
+    damage probe) is O(1) instead of a scan over every record so far.
+    """
 
     def __init__(self) -> None:
         self.records: List[Tuple[float, int, bool]] = []
+        self._attack_drops = 0
 
     def observe(self, packet: Packet, now: float, accepted: bool) -> None:
         """Link-monitor callback."""
         if not accepted:
-            self.records.append((now, packet.flow_id, packet.is_attack))
+            is_attack = packet.is_attack
+            self.records.append((now, packet.flow_id, is_attack))
+            if is_attack:
+                self._attack_drops += 1
 
     @property
     def total_drops(self) -> int:
@@ -101,11 +110,11 @@ class DropMonitor:
 
     @property
     def legit_drops(self) -> int:
-        return sum(1 for _, _, is_attack in self.records if not is_attack)
+        return len(self.records) - self._attack_drops
 
     @property
     def attack_drops(self) -> int:
-        return sum(1 for _, _, is_attack in self.records if is_attack)
+        return self._attack_drops
 
     def drop_times(self, *, legit_only: bool = False) -> np.ndarray:
         """Timestamps of drops, optionally restricted to legitimate flows."""

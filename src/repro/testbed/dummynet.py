@@ -35,6 +35,7 @@ from repro.sim.attacker import PulseAttackSource
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node
+from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue, QueueDiscipline, REDQueue
 from repro.sim.tcp import TCPConfig, TCPReceiver, TCPSender, TCPVariant
 from repro.util.errors import ConfigurationError
@@ -141,6 +142,8 @@ class TestbedNetwork:
         self.config = config
         self.sim = Simulator()
         self.rng = random.Random(config.seed)
+        # Fresh uid stream per scenario: identical reruns trace identically.
+        Packet.reset_uids()
 
         m = config.n_flows
         self.dummynet = Node(self.sim, 0, "dummynet")

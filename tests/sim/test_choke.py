@@ -153,3 +153,86 @@ class TestSlotReclamation:
         link.send(make_packet(0))
         link.send(make_packet(0))
         assert link.sample_buffered(random.Random(0)) is None
+
+
+class TestEvictRescheduling:
+    """Evict must reclaim the slot and reschedule every trailing delivery."""
+
+    def _wire(self, sim, n_packets):
+        """1.2 kB/s link (1 s per 1500 B packet), zero delay, n packets."""
+        a, b = Node(sim, 0), Node(sim, 1)
+        queue = make_choke()
+        link = Link(sim, a, b, rate_bps=1.2e4, delay=0.0, queue=queue)
+        received = []
+        b.register_agent(0, lambda p: received.append((sim.now, p.uid)))
+        packets = [make_packet(0) for _ in range(n_packets)]
+        for packet in packets:
+            link.send(packet)
+        return link, packets, received
+
+    def test_all_trailing_deliveries_reschedule(self, sim):
+        link, packets, received = self._wire(sim, 5)
+        link.evict(link._departures[1])
+        sim.run()
+        # Slots: head at 1 s, then the three survivors back to back.
+        times = [t for t, _ in received]
+        assert times == pytest.approx([1.0, 2.0, 3.0, 4.0])
+        # FIFO order of the survivors is preserved.
+        survivor_uids = [p.uid for i, p in enumerate(packets) if i != 1]
+        assert [uid for _, uid in received] == survivor_uids
+
+    def test_departure_list_slots_shift_by_one_tx(self, sim):
+        link, _, _ = self._wire(sim, 5)
+        victim = link._departures[2]
+        before = [entry.departure for entry in link._departures]
+        reclaimed = link.transmission_time(victim.size_bytes)
+        link.evict(victim)
+        after = [entry.departure for entry in link._departures]
+        # Entries ahead of the victim are untouched; trailing ones move
+        # exactly one serialization time earlier.
+        assert after[:2] == before[:2]
+        assert after[2:] == pytest.approx([t - reclaimed for t in before[3:]])
+
+    def test_busy_until_reclaimed(self, sim):
+        link, _, _ = self._wire(sim, 4)
+        busy_before = link._busy_until
+        victim = link._departures[1]
+        reclaimed = link.transmission_time(victim.size_bytes)
+        link.evict(victim)
+        assert link._busy_until == pytest.approx(busy_before - reclaimed)
+
+    def test_byte_accounting_consistent(self, sim):
+        link, packets, received = self._wire(sim, 5)
+        offered_bytes = sum(p.size_bytes for p in packets)
+        victim = link._departures[1]
+        victim_bytes = victim.size_bytes
+        sent_before = link.bytes_sent
+        dropped_before = link.bytes_dropped
+        link.evict(victim)
+        # The evicted packet moves from the sent ledger to the drop ledger.
+        assert link.bytes_sent == pytest.approx(sent_before - victim_bytes)
+        assert link.bytes_dropped == pytest.approx(dropped_before + victim_bytes)
+        sim.run()
+        # Conservation: every offered byte is either sent or dropped, and
+        # the sent ledger matches what actually arrived.
+        assert link.bytes_sent + link.bytes_dropped == pytest.approx(offered_bytes)
+        assert link.packets_sent == len(received)
+        assert link.packets_sent + link.packets_dropped == len(packets)
+
+    def test_queued_bytes_reduced(self, sim):
+        link, _, _ = self._wire(sim, 5)
+        victim = link._departures[1]
+        queued_before = link._queued_bytes
+        link.evict(victim)
+        assert link._queued_bytes == pytest.approx(
+            queued_before - victim.size_bytes
+        )
+
+    def test_evict_after_departure_is_noop(self, sim):
+        link, _, received = self._wire(sim, 2)
+        head = link._departures[0]
+        sim.run()  # both packets delivered; departure list drains lazily
+        sent_before = link.bytes_sent
+        link.evict(head)  # stale handle: already departed
+        assert link.bytes_sent == sent_before
+        assert len(received) == 2

@@ -1,0 +1,69 @@
+"""The profiling instrumentation (repro.sim.profile)."""
+
+from repro.sim.engine import Simulator, total_events_dispatched
+from repro.sim.profile import ProfileReport, profile_run
+
+
+def _tiny_workload():
+    sim = Simulator()
+    fired = []
+    for i in range(50):
+        sim.schedule(0.01 * i, fired.append, i)
+    sim.run()
+    return fired
+
+
+class TestProfileRun:
+    def test_passes_result_through(self):
+        result, report = profile_run(_tiny_workload, label="tiny")
+        assert result == list(range(50))
+        assert isinstance(report, ProfileReport)
+
+    def test_counts_dispatched_events(self):
+        _, report = profile_run(_tiny_workload)
+        assert report.events_executed == 50
+
+    def test_global_counter_advances(self):
+        before = total_events_dispatched()
+        _tiny_workload()
+        assert total_events_dispatched() - before == 50
+
+    def test_does_not_alter_results(self):
+        plain = _tiny_workload()
+        profiled, _ = profile_run(_tiny_workload)
+        assert profiled == plain
+
+    def test_render_includes_throughput_and_hotspots(self):
+        _, report = profile_run(_tiny_workload, label="tiny")
+        text = report.render()
+        assert "profile: tiny" in text
+        assert "events executed  : 50" in text
+        assert "events/sec" in text
+        assert "cumulative" in text  # pstats header of the hotspot table
+
+    def test_events_per_sec_zero_guard(self):
+        report = ProfileReport(
+            label="x", wall_seconds=0.0, events_executed=10,
+            calls_profiled=1, top_functions="",
+        )
+        assert report.events_per_sec == 0.0
+
+
+class TestCLIFlag:
+    def test_profile_flag_parses(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["fig04", "--profile"])
+        assert args.profile
+
+    def test_profile_flag_defaults_off(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["fig04"])
+        assert not args.profile
+
+    def test_profiled_run_appends_report(self, capsys):
+        from repro.cli import main
+        assert main(["fig04", "--profile", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "risk" in out  # the experiment rendering is still there
+        assert "=== profile: fig04 ===" in out
+        assert "events/sec" in out

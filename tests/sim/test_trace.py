@@ -71,6 +71,19 @@ class TestDropMonitor:
         assert monitor.attack_drops == 1
         assert monitor.legit_drops == 1
 
+    def test_counters_stay_consistent_mid_run(self):
+        """The O(1) running counters agree with the records at any point."""
+        monitor = DropMonitor()
+        kinds = [PacketKind.ATTACK, PacketKind.DATA, PacketKind.ATTACK,
+                 PacketKind.ACK, PacketKind.ATTACK, PacketKind.CBR]
+        for i, kind in enumerate(kinds):
+            monitor.observe(make_packet(kind), float(i), False)
+            expected_attack = sum(
+                1 for _, _, is_attack in monitor.records if is_attack
+            )
+            assert monitor.attack_drops == expected_attack
+            assert monitor.legit_drops == monitor.total_drops - expected_attack
+
     def test_drop_times_filter(self):
         monitor = DropMonitor()
         monitor.observe(make_packet(PacketKind.ATTACK), 1.0, False)
