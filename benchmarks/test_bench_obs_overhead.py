@@ -1,0 +1,102 @@
+"""Bench: metrics-off overhead of the instrumented simulator core.
+
+Replays the sim-core scenario twice -- once with the metrics registry
+disabled (the default), once collecting -- and compares the disabled
+run's events/sec against the archived ``results/sim_core.txt``
+trajectory.  The disabled path must stay within 5% of the archived
+number: observability must be free when nobody is watching.
+
+The enabled run doubles as an end-to-end telemetry check (engine, link,
+and TCP families all populated, results bit-identical to the disabled
+run) and writes a JSON-lines run log to ``results/runlog.jsonl`` for CI
+to upload as an artifact.
+
+CI runs this bench non-gating (continue-on-error): the archived
+baseline comes from whatever machine last regenerated it, so a slower
+runner can fail the 5% bar without a real regression.  Regenerate
+``sim_core.txt`` on the same machine for a meaningful comparison.
+"""
+
+import re
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from benchmarks.test_bench_sim_core import _run_sim_core, best_of
+from repro.obs import metrics
+
+#: Disabled-metrics throughput must stay within this fraction of the
+#: archived sim-core events/sec.
+TOLERANCE = 0.05
+
+
+def archived_events_per_sec() -> float:
+    """The events/sec recorded in ``results/sim_core.txt``."""
+    path = RESULTS_DIR / "sim_core.txt"
+    if not path.is_file():
+        pytest.skip("no archived sim_core.txt to compare against")
+    match = re.search(r"events/sec\s*:\s*([\d.]+)", path.read_text())
+    if match is None:
+        pytest.skip("archived sim_core.txt has no events/sec line")
+    return float(match.group(1))
+
+
+def _run_instrumented():
+    with metrics.collecting() as registry:
+        stats = _run_sim_core()
+    stats["snapshot"] = registry.snapshot()
+    return stats
+
+
+def test_bench_obs_overhead(benchmark, record_result):
+    baseline = archived_events_per_sec()
+
+    metrics.disable()
+    # Best-of-3 on both sides, matching how the archive is produced.
+    disabled = best_of()
+    enabled = run_once(benchmark, lambda: best_of(fn=_run_instrumented))
+    snapshot = enabled["snapshot"]
+
+    # Instrumentation must not perturb the simulation.
+    assert enabled["events"] == disabled["events"]
+    assert enabled["goodput_bytes"] == disabled["goodput_bytes"]
+    assert snapshot["engine.events_dispatched"] == enabled["events"]
+    assert snapshot["link.bottleneck.accepted_packets"] > 0
+    assert snapshot["tcp.goodput_bytes"] == enabled["goodput_bytes"]
+
+    disabled_ratio = disabled["events_per_sec"] / baseline
+    enabled_ratio = enabled["events_per_sec"] / disabled["events_per_sec"]
+    record_result("obs_overhead", (
+        "obs-overhead microbenchmark (sim-core scenario, "
+        f"{disabled['horizon']:.0f}s simulated)\n"
+        f"archived events/sec : {baseline:.0f}\n"
+        f"disabled events/sec : {disabled['events_per_sec']:.0f} "
+        f"({100.0 * disabled_ratio:.1f}% of archived)\n"
+        f"enabled events/sec  : {enabled['events_per_sec']:.0f} "
+        f"({100.0 * enabled_ratio:.1f}% of disabled)\n"
+        f"peak calendar depth : {snapshot['engine.peak_calendar_depth']:.0f}"
+    ))
+
+    _write_run_log(disabled, enabled)
+
+    # The gate: metrics off must cost nothing measurable.
+    assert disabled["events_per_sec"] >= (1.0 - TOLERANCE) * baseline, (
+        f"disabled-metrics throughput {disabled['events_per_sec']:.0f} ev/s "
+        f"fell below {100 * (1 - TOLERANCE):.0f}% of archived "
+        f"{baseline:.0f} ev/s"
+    )
+
+
+def _write_run_log(disabled, enabled) -> None:
+    """One fresh JSON-lines record per variant, for the CI artifact."""
+    from repro.obs.runlog import RunLogWriter, base_record
+
+    path = RESULTS_DIR / "runlog.jsonl"
+    path.unlink(missing_ok=True)
+    writer = RunLogWriter(path)
+    for variant, stats in (("disabled", disabled), ("enabled", enabled)):
+        record = base_record("experiment", f"obs_overhead[{variant}]")
+        record["elapsed_seconds"] = stats["wall"]
+        record["metrics"] = stats.get("snapshot", {})
+        record["events_per_sec"] = stats["events_per_sec"]
+        writer.write(record)

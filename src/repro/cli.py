@@ -24,11 +24,23 @@ and prints wall time, simulator events/sec, and the hottest functions
 after the rendering.  Profile the default serial mode (``--jobs 1``,
 ideally ``--no-cache``): cells executed by worker processes or answered
 from the cache dispatch no simulator events in this process.
+
+Observability: diagnostics go through the ``repro`` logger (``-v`` for
+per-cell debug lines, ``-q`` for renderings only), and
+``repro <experiment> --metrics [PATH]`` additionally enables the metrics
+registry and appends one JSON-lines record per experiment -- engine,
+link, TCP, and runner telemetry plus timings and the git SHA -- to
+*PATH* (default ``runlog.jsonl``).  ``repro obs report LOG [LOG...]``
+renders a summary table from such logs.  Note: cells answered from the
+cache or executed in worker processes contribute runner metrics but no
+in-process engine/link/TCP metrics; run with ``--no-cache`` serially
+for a full simulation snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import pathlib
 import sys
@@ -36,6 +48,11 @@ import time
 from typing import Callable, Dict
 
 __all__ = ["main", "EXPERIMENTS"]
+
+_log = logging.getLogger("repro.cli")
+
+#: where ``--metrics`` writes when no path is given.
+DEFAULT_RUNLOG = pathlib.Path("runlog.jsonl")
 
 
 def _fig06():  # deferred imports keep `--help` fast
@@ -176,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce the figures of 'Optimizing the Pulsing "
             "Denial-of-Service Attacks' (Luo & Chang, DSN 2005)."
         ),
+        epilog=(
+            "Run-log tooling: 'repro obs report LOG [LOG...]' renders a "
+            "summary table from JSON-lines run logs written by --metrics."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -211,7 +232,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory (default: $REPRO_CACHE_DIR, else "
              "$XDG_CACHE_HOME/repro-pdos)",
     )
+    parser.add_argument(
+        "--metrics", type=pathlib.Path, nargs="?", const=DEFAULT_RUNLOG,
+        default=None, metavar="PATH",
+        help="enable the metrics registry and append one JSON-lines "
+             "run-log record per experiment to PATH (default: "
+             f"{DEFAULT_RUNLOG}); place the flag after the experiment "
+             "name when omitting PATH",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug logging (per-cell cache/execution lines)",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress/timing lines (renderings only)",
+    )
     return parser
+
+
+def _configure_logging(*, verbose: bool = False, quiet: bool = False) -> None:
+    """Point the ``repro`` logger at the current stdout.
+
+    Recreated on every :func:`main` call so repeated in-process
+    invocations (tests, notebooks) follow stream redirection; renderings
+    stay on plain ``print`` -- they are the program's output, while log
+    lines are its diagnostics.
+    """
+    level = logging.DEBUG if verbose else (
+        logging.WARNING if quiet else logging.INFO)
+    logger = logging.getLogger("repro")
+    logger.handlers.clear()
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
 
 
 def _make_runner(args):  # deferred import keeps `--help` fast
@@ -225,30 +282,80 @@ def _make_runner(args):  # deferred import keeps `--help` fast
     return ExperimentRunner(jobs=args.jobs, cache_dir=cache_dir)
 
 
-def _run_one(name: str, output_dir, runner=None, profile=False) -> None:
+def _run_one(name: str, output_dir, runner=None, profile=False,
+             writer=None) -> None:
+    from repro.obs import metrics as obs_metrics
+
     started = time.time()
     mark = runner.stats.checkpoint() if runner is not None else None
-    if profile:
-        from repro.sim.profile import profile_run
-        text, report = profile_run(EXPERIMENTS[name], label=name)
-    else:
-        text = EXPERIMENTS[name]()
-        report = None
+    # A fresh registry per experiment: each run-log record then snapshots
+    # exactly one experiment's telemetry, not the whole invocation's.
+    registry = obs_metrics.enable() if writer is not None else None
+    try:
+        if profile:
+            from repro.sim.profile import profile_run
+            text, report = profile_run(EXPERIMENTS[name], label=name)
+        else:
+            text = EXPERIMENTS[name]()
+            report = None
+    finally:
+        if registry is not None:
+            obs_metrics.disable()
     elapsed = time.time() - started
     print(text)
     if report is not None:
         print(report.render())
     if mark is not None:
-        print(f"[{name}: {elapsed:.1f}s; {runner.stats.since(mark)}]\n")
+        _log.info("[%s: %.1fs; %s]\n", name, elapsed,
+                  runner.stats.since(mark))
     else:
-        print(f"[{name}: {elapsed:.1f}s]\n")
+        _log.info("[%s: %.1fs]\n", name, elapsed)
+    if writer is not None:
+        from repro.obs.runlog import base_record
+
+        record = base_record("experiment", name)
+        record["elapsed_seconds"] = elapsed
+        if mark is not None:
+            record["runner"] = runner.stats.delta_snapshot(mark)
+        record["metrics"] = registry.snapshot()
+        writer.write(record)
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
         (output_dir / f"{name}.txt").write_text(text + "\n")
 
 
+def _obs_main(argv) -> int:
+    """The ``repro obs ...`` tooling subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Inspect JSON-lines run logs written by --metrics.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    report = commands.add_parser(
+        "report", help="render a summary table from one or more run logs",
+    )
+    report.add_argument(
+        "logs", nargs="+", type=pathlib.Path,
+        help="run-log files (JSON lines, appended across invocations)",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.report import render_report
+
+    missing = [path for path in args.logs if not path.is_file()]
+    if missing:
+        print("no such run log: " + ", ".join(str(p) for p in missing),
+              file=sys.stderr)
+        return 1
+    print(render_report(args.logs))
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     args = build_parser().parse_args(argv)
+    _configure_logging(verbose=args.verbose, quiet=args.quiet)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
@@ -258,10 +365,24 @@ def main(argv=None) -> int:
     from repro.runner import set_default_runner
     runner = _make_runner(args)
     set_default_runner(runner)
+    writer = None
+    if args.metrics is not None:
+        from repro.obs.runlog import RunLogWriter
+        writer = RunLogWriter(args.metrics)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, args.output_dir, runner, profile=args.profile)
-    print(f"[total: {runner.stats.summary()}]")
+        _run_one(name, args.output_dir, runner, profile=args.profile,
+                 writer=writer)
+    _log.info("[total: %s]", runner.stats.summary())
+    if writer is not None:
+        from repro.obs.runlog import base_record
+
+        record = base_record("run", args.experiment)
+        record["experiments"] = names
+        record["runner"] = runner.stats.snapshot()
+        writer.write(record)
+        _log.info("[run log: %d records -> %s]",
+                  writer.records_written, writer.path)
     return 0
 
 

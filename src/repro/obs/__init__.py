@@ -1,0 +1,44 @@
+"""Observability: metrics, structured run logs, and reporting.
+
+* :mod:`repro.obs.metrics` -- the registry (counters, gauges,
+  histograms, timers) and the process-wide enable/disable switch with a
+  no-op disabled path;
+* :mod:`repro.obs.instrument` -- publishers that snapshot component
+  counters (links, queues, TCP, runner) into the registry;
+* :mod:`repro.obs.runlog` -- the JSON-lines run-log writer/reader;
+* :mod:`repro.obs.report` -- the ``repro obs report`` renderer.
+
+This ``__init__`` re-exports only :mod:`repro.obs.metrics` names: the
+engine imports the package on its hot path, so the heavier submodules
+(subprocess-using runlog, the report renderer) load on demand.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Timer,
+    active,
+    collecting,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Timer",
+    "active",
+    "collecting",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+]

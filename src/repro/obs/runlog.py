@@ -1,0 +1,112 @@
+"""Structured JSON-lines run logs.
+
+One record per experiment (or bench, or whole invocation): a single JSON
+object per line with the experiment name, wall-clock duration, runner
+accounting, a metrics snapshot, and provenance (git SHA, timestamp,
+``REPRO_FULL``).  JSON-lines keeps the format append-only -- concurrent
+invocations and repeated runs extend one file, and
+``repro obs report`` renders any number of such files.
+
+Schema (all fields optional except ``record``/``name``)::
+
+    {"record": "experiment",        # or "run" (invocation summary),
+                                    # "bench"
+     "name": "fig06",
+     "timestamp": 1719830000.0,     # UNIX epoch, start of the record
+     "elapsed_seconds": 12.5,
+     "git_sha": "d66e654",          # null outside a git checkout
+     "full": false,                 # REPRO_FULL paper-scale mode
+     "runner": {...},               # RunnerStats snapshot (see
+                                    #  RunnerStats.snapshot())
+     "metrics": {...}}              # MetricsRegistry.snapshot()
+
+The log is observational: nothing in it feeds back into experiments, so
+timestamps and durations do not perturb determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import time
+from typing import Iterator, List, Optional, Union
+
+__all__ = ["RunLogWriter", "read_run_log", "iter_records", "git_sha",
+           "base_record"]
+
+
+def git_sha() -> Optional[str]:
+    """The current checkout's short commit SHA, or ``None``.
+
+    Best-effort provenance: any failure (no git binary, not a checkout,
+    timeout) degrades to ``None`` rather than raising.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def base_record(record: str, name: str) -> dict:
+    """A record skeleton with provenance fields filled in."""
+    return {
+        "record": record,
+        "name": name,
+        "timestamp": time.time(),
+        "git_sha": git_sha(),
+        "full": os.environ.get("REPRO_FULL", "0") not in ("", "0", "false",
+                                                          "no"),
+    }
+
+
+class RunLogWriter:
+    """Appends JSON-lines records to a run-log file.
+
+    The file (and parent directories) are created on first write; each
+    record is one ``json.dumps`` line flushed per call, so a crashed run
+    leaves every completed record intact.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        """Append one record (must be JSON-serializable)."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+        self.records_written += 1
+
+
+def iter_records(path: Union[str, pathlib.Path]) -> Iterator[dict]:
+    """Yield records from one run-log file, skipping corrupt lines.
+
+    Tolerating a torn final line (a run killed mid-write) beats refusing
+    to report on an otherwise healthy log.
+    """
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def read_run_log(path: Union[str, pathlib.Path]) -> List[dict]:
+    """All records of one run-log file, in order."""
+    return list(iter_records(path))

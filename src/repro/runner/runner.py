@@ -17,17 +17,22 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import logging
 import multiprocessing
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs.instrument import publish_runner
 from repro.runner.cache import ResultCache, cell_key, code_version
 from repro.runner.cells import Cell, CellResult, execute_cell
 from repro.util.errors import ValidationError
 
 __all__ = ["CellTiming", "RunnerStats", "ExperimentRunner",
            "get_default_runner", "set_default_runner"]
+
+_log = logging.getLogger("repro.runner")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,13 +46,28 @@ class CellTiming:
 
 @dataclasses.dataclass
 class RunnerStats:
-    """Cumulative per-runner accounting (memo/cache hits, sim time)."""
+    """Cumulative per-runner accounting (memo/cache hits, sim time).
+
+    Beyond the hit counters this tracks the telemetry the observability
+    layer reports: distinct scenario seeds fanned out, and -- for
+    parallel batches -- busy worker-seconds against available
+    worker-seconds (:attr:`worker_utilization`).
+    """
 
     executed: int = 0
     cache_hits: int = 0
     memo_hits: int = 0
     executed_seconds: float = 0.0
     timings: List[CellTiming] = dataclasses.field(default_factory=list)
+    #: distinct platform seeds seen across all measured cells.
+    seeds: Set[int] = dataclasses.field(default_factory=set)
+    parallel_batches: int = 0
+    #: wall-clock seconds spent inside parallel batches.
+    parallel_wall_seconds: float = 0.0
+    #: sum of per-cell execution seconds inside parallel batches.
+    parallel_busy_seconds: float = 0.0
+    #: workers x wall for each parallel batch (the available capacity).
+    parallel_worker_seconds: float = 0.0
 
     def record(self, key: str, source: str, elapsed: float = 0.0) -> None:
         self.timings.append(CellTiming(key=key, source=source, elapsed=elapsed))
@@ -63,21 +83,66 @@ class RunnerStats:
     def cells(self) -> int:
         return self.executed + self.cache_hits + self.memo_hits
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of cells answered without execution (cache + memo)."""
+        total = self.cells
+        if total == 0:
+            return 0.0
+        return (self.cache_hits + self.memo_hits) / total
+
+    @property
+    def worker_utilization(self) -> Optional[float]:
+        """Busy / available worker time over parallel batches, or None.
+
+        ``None`` until at least one multi-cell batch has fanned out --
+        serial execution has no idle workers to account for.
+        """
+        if self.parallel_worker_seconds <= 0.0:
+            return None
+        return self.parallel_busy_seconds / self.parallel_worker_seconds
+
     def checkpoint(self) -> Tuple[int, int, int, float]:
-        """An opaque marker for :meth:`since`."""
+        """An opaque marker for :meth:`since` / :meth:`delta_snapshot`."""
         return (self.executed, self.cache_hits, self.memo_hits,
                 self.executed_seconds)
 
-    def since(self, mark: Tuple[int, int, int, float]) -> str:
-        """Human-readable delta summary since *mark*."""
+    def delta_snapshot(self, mark: Tuple[int, int, int, float]) -> dict:
+        """JSON-ready accounting of the work done since *mark*."""
         executed = self.executed - mark[0]
         cached = self.cache_hits - mark[1]
         memo = self.memo_hits - mark[2]
-        seconds = self.executed_seconds - mark[3]
         total = executed + cached + memo
+        return {
+            "cells": total,
+            "executed": executed,
+            "cache_hits": cached,
+            "memo_hits": memo,
+            "hit_ratio": ((cached + memo) / total) if total else 0.0,
+            "executed_seconds": self.executed_seconds - mark[3],
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready cumulative accounting (feeds run logs / metrics)."""
+        snap = self.delta_snapshot((0, 0, 0, 0.0))
+        snap.update({
+            "seed_fanout": len(self.seeds),
+            "parallel_batches": self.parallel_batches,
+            "parallel_wall_seconds": self.parallel_wall_seconds,
+            "parallel_busy_seconds": self.parallel_busy_seconds,
+            "worker_utilization": self.worker_utilization,
+        })
+        return snap
+
+    def since(self, mark: Tuple[int, int, int, float]) -> str:
+        """Human-readable delta summary since *mark*."""
+        delta = self.delta_snapshot(mark)
         return (
-            f"cells: {total} ({executed} executed in {seconds:.1f}s sim, "
-            f"{cached} cache hits, {memo} memo hits)"
+            f"cells: {delta['cells']} ({delta['executed']} executed in "
+            f"{delta['executed_seconds']:.1f}s sim, "
+            f"{delta['cache_hits']} cache hits, "
+            f"{delta['memo_hits']} memo hits; "
+            f"{100.0 * delta['hit_ratio']:.0f}% hit ratio)"
         )
 
     def summary(self) -> str:
@@ -135,18 +200,21 @@ class ExperimentRunner:
         results: Dict[str, CellResult] = {}
         pending: Dict[str, Cell] = {}
         for key, cell in zip(keys, cells):
+            self.stats.seeds.add(cell.platform.seed)
             if key in results or key in pending:
                 continue
             memo = self._memo.get(key)
             if memo is not None:
                 results[key] = memo
                 self.stats.record(key, "memo")
+                _log.debug("cell %s: memo hit", key[:12])
                 continue
             if self.cache is not None:
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[key] = self._memo[key] = hit
                     self.stats.record(key, "cache")
+                    _log.debug("cell %s: cache hit", key[:12])
                     continue
             pending[key] = cell
 
@@ -158,12 +226,18 @@ class ExperimentRunner:
                     result, elapsed = _timed_execute(cell)
                     self._finish(key, cell, result, elapsed)
                     results[key] = result
+        # Per-batch (never per-cell) telemetry refresh; a no-op without
+        # an active registry.
+        publish_runner(_obs_metrics.active(), self.stats.snapshot())
         return [results[key] for key in keys]
 
     # ------------------------------------------------------------------
     def _execute_parallel(self, pending: Dict[str, Cell],
                           results: Dict[str, CellResult]) -> None:
         workers = min(self.jobs, len(pending))
+        _log.debug("fanning %d cells over %d workers", len(pending), workers)
+        batch_started = time.perf_counter()
+        busy = 0.0
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers, mp_context=_mp_context(),
         ) as pool:
@@ -174,8 +248,15 @@ class ExperimentRunner:
             for future in concurrent.futures.as_completed(futures):
                 key = futures[future]
                 result, elapsed = future.result()
+                busy += elapsed
                 self._finish(key, pending[key], result, elapsed)
                 results[key] = result
+        wall = time.perf_counter() - batch_started
+        stats = self.stats
+        stats.parallel_batches += 1
+        stats.parallel_wall_seconds += wall
+        stats.parallel_busy_seconds += busy
+        stats.parallel_worker_seconds += workers * wall
 
     def _finish(self, key: str, cell: Cell, result: CellResult,
                 elapsed: float) -> None:
@@ -185,6 +266,7 @@ class ExperimentRunner:
                 "cell": cell.describe(), "elapsed": elapsed,
             })
         self.stats.record(key, "executed", elapsed)
+        _log.debug("cell %s: executed in %.2fs", key[:12], elapsed)
 
 
 # ----------------------------------------------------------------------

@@ -24,8 +24,10 @@ from __future__ import annotations
 import itertools
 from heapq import heappop, heappush
 from math import inf
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
+from repro.obs import metrics as _obs
 from repro.util.errors import SimulationError
 
 __all__ = ["Event", "Simulator", "total_events_dispatched"]
@@ -106,6 +108,7 @@ class Simulator:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._events_executed = 0
+        self._events_cancelled_skipped = 0
         self._running = False
         self._stopped = False
 
@@ -121,6 +124,11 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events dispatched so far (cancelled events excluded)."""
         return self._events_executed
+
+    @property
+    def events_cancelled_skipped(self) -> int:
+        """Cancelled calendar entries the dispatch loop has drained."""
+        return self._events_cancelled_skipped
 
     @property
     def pending_events(self) -> int:
@@ -176,37 +184,87 @@ class Simulator:
         horizon = inf if until is None else until
         budget = inf if max_events is None else max_events
         executed = 0
+        cancelled = 0
         heap = self._heap
         pop = heappop
+        # Observability forks the loop *once per run*: with no registry
+        # active the original uninstrumented loop executes, so the
+        # disabled path costs a single `is None` check per run() call.
+        # The instrumented twin dispatches the exact same events in the
+        # same order -- it only adds bookkeeping (peak calendar depth,
+        # wall-clock time), never randomness or scheduling.
+        registry = _obs.active()
+        if registry is not None:
+            wall_started = perf_counter()
+            sim_started = self._now
+            peak_depth = len(heap)
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
-                time = entry[0]
-                if time > horizon:
-                    break
-                fn = entry[2]
-                if fn is None:  # cancelled: drop without counting
+            if registry is None:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > horizon:
+                        break
+                    fn = entry[2]
+                    if fn is None:  # cancelled: drop without counting
+                        pop(heap)
+                        cancelled += 1
+                        continue
+                    # Check the budget *before* dispatch so the cascade
+                    # stops at exactly max_events executed; the offending
+                    # event stays in the calendar rather than firing past
+                    # the budget.
+                    if executed >= budget:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "runaway event cascade?"
+                        )
                     pop(heap)
-                    continue
-                # Check the budget *before* dispatch so the cascade stops at
-                # exactly max_events executed; the offending event stays in
-                # the calendar rather than firing past the budget.
-                if executed >= budget:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway event cascade?"
-                    )
-                pop(heap)
-                self._now = time
-                fn(*entry[3])
-                executed += 1
-                self._events_executed += 1
+                    self._now = time
+                    fn(*entry[3])
+                    executed += 1
+                    self._events_executed += 1
+            else:
+                while heap and not self._stopped:
+                    depth = len(heap)
+                    if depth > peak_depth:
+                        peak_depth = depth
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > horizon:
+                        break
+                    fn = entry[2]
+                    if fn is None:
+                        pop(heap)
+                        cancelled += 1
+                        continue
+                    if executed >= budget:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "runaway event cascade?"
+                        )
+                    pop(heap)
+                    self._now = time
+                    fn(*entry[3])
+                    executed += 1
+                    self._events_executed += 1
         finally:
             self._running = False
+            self._events_cancelled_skipped += cancelled
             _TOTAL_DISPATCHED += executed
         if until is not None and not self._stopped and self._now < until:
             # Advance the clock to the horizon even if the calendar drained
             # early, so rate monitors see the full observation window.
             self._now = until
+        if registry is not None:
+            registry.counter("engine.runs").inc()
+            registry.counter("engine.events_dispatched").inc(executed)
+            registry.counter("engine.events_cancelled_skipped").inc(cancelled)
+            registry.counter("engine.wall_seconds").inc(
+                perf_counter() - wall_started)
+            registry.counter("engine.sim_seconds").inc(
+                self._now - sim_started)
+            registry.gauge("engine.peak_calendar_depth").track_max(peak_depth)
         return executed
 
     def stop(self) -> None:

@@ -343,6 +343,26 @@ class Link:
         """Total bytes accepted onto the wire so far."""
         return self.bytes_sent
 
+    def metrics_snapshot(self) -> dict:
+        """Cumulative link telemetry for the observability layer.
+
+        Reads the counters :meth:`send` already maintains (plus the
+        discipline's), so snapshotting costs nothing on the per-packet
+        path.  Keys are stable: the run-log schema and
+        ``repro obs report`` rely on them.
+        """
+        snap = {
+            "accepted_bytes": self.bytes_sent,
+            "accepted_packets": float(self.packets_sent),
+            "dropped_bytes": self.bytes_dropped,
+            "dropped_packets": float(self.packets_dropped),
+            "peak_queue_bytes": self.peak_queue_bytes,
+            "queue_bytes": self._queued_bytes,
+            "queue_packets": float(len(self._departures)),
+        }
+        snap.update(self.queue.metrics_snapshot())
+        return snap
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Link {self.name} {self.rate_bps / 1e6:.1f}Mbps "

@@ -70,6 +70,19 @@ class QueueDiscipline:
         self.early_drops = 0
         self.accepts = 0
 
+    def metrics_snapshot(self) -> dict:
+        """Cumulative admission telemetry (``disc_*`` keys).
+
+        Subclasses extend this with their own state (RED's averaged
+        queue, CHOKe's match-drops); the base counters cover every
+        discipline.
+        """
+        return {
+            "disc_accepts": float(self.accepts),
+            "disc_drops": float(self.drops),
+            "disc_early_drops": float(self.early_drops),
+        }
+
     def admit(self, pkt_bytes: float, state: QueueState) -> bool:
         """Return True to enqueue the packet, False to drop it."""
         raise NotImplementedError
@@ -185,6 +198,11 @@ class REDQueue(QueueDiscipline):
         if self.byte_mode:
             p_b *= pkt_bytes / self.mean_pkt_bytes
         return min(p_b, 1.0)
+
+    def metrics_snapshot(self) -> dict:
+        snap = super().metrics_snapshot()
+        snap["red_avg_queue"] = self.avg
+        return snap
 
     def admit(self, pkt_bytes: float, state: QueueState) -> bool:
         return self.admit_values(
@@ -325,6 +343,12 @@ class CHOKeQueue(REDQueue):
         self.match_drops = 0
         #: buffered packets evicted by a match.
         self.evictions = 0
+
+    def metrics_snapshot(self) -> dict:
+        snap = super().metrics_snapshot()
+        snap["choke_match_drops"] = float(self.match_drops)
+        snap["choke_evictions"] = float(self.evictions)
+        return snap
 
     def admit_with_link(self, packet, state: QueueState, link) -> bool:
         self._update_average(state)

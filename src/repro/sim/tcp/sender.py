@@ -175,6 +175,25 @@ class TCPSender:
         """Outstanding (sent, unacknowledged) segments."""
         return self.next_seq - 1 - self.cumack
 
+    def metrics_snapshot(self) -> dict:
+        """Cumulative per-flow telemetry for the observability layer.
+
+        Exactly the recovery quantities behind Eq. 1's converged window
+        W_c: fast-retransmit entries, timeouts, and the instantaneous
+        cwnd/ssthresh, plus delivery totals.  Reads existing counters
+        only -- no per-ACK cost.
+        """
+        return {
+            "segments_sent": float(self.segments_sent),
+            "retransmissions": float(self.retransmissions),
+            "fast_retransmits": float(self.fast_retransmits),
+            "timeouts": float(self.timeouts),
+            "acked_segments": float(self.acked_segments),
+            "goodput_bytes": self.goodput_bytes(),
+            "cwnd": self.cwnd,
+            "ssthresh": self.ssthresh,
+        }
+
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------

@@ -25,6 +25,8 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.core.attack import PulseTrain
+from repro.obs import metrics as _obs_metrics
+from repro.obs.instrument import publish_network
 from repro.sim.attacker import PulseAttackSource
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
@@ -411,8 +413,21 @@ class DumbbellNetwork:
         return sources
 
     def run(self, until: float) -> None:
-        """Advance the simulation to absolute time *until*."""
+        """Advance the simulation to absolute time *until*.
+
+        When metrics are enabled, the contested links and the TCP flock
+        are snapshotted into the active registry after each run segment
+        (warm-up, measurement window) -- once per segment, never per
+        event, so the disabled path is a single ``is None`` check.
+        """
         self.sim.run(until=until)
+        registry = _obs_metrics.active()
+        if registry is not None:
+            publish_network(registry, links={
+                "bottleneck": self.bottleneck,
+                "bottleneck_reverse": self.reverse_bottleneck,
+                "attacker": self.attacker_link,
+            }, senders=self.senders)
 
     # ------------------------------------------------------------------
     # measurement helpers

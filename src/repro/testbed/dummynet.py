@@ -31,6 +31,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.attack import PulseTrain
+from repro.obs import metrics as _obs_metrics
+from repro.obs.instrument import publish_network
 from repro.sim.attacker import PulseAttackSource
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
@@ -250,8 +252,19 @@ class TestbedNetwork:
         return source
 
     def run(self, until: float) -> None:
-        """Advance the emulation to absolute time *until*."""
+        """Advance the emulation to absolute time *until*.
+
+        As on the dumbbell, an active metrics registry receives a
+        snapshot of the pipe and the TCP flows after each run segment.
+        """
         self.sim.run(until=until)
+        registry = _obs_metrics.active()
+        if registry is not None:
+            publish_network(registry, links={
+                "pipe": self.pipe_link,
+                "pipe_reverse": self.pipe_return_link,
+                "attacker": self.attacker_link,
+            }, senders=self.senders)
 
     def flow_rtts(self) -> np.ndarray:
         """Nominal RTT of every flow (identical paths in the test-bed)."""

@@ -1,0 +1,156 @@
+"""End-to-end instrumentation: engine, network, and runner telemetry."""
+
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.obs import metrics
+from repro.sim.engine import Simulator
+from repro.sim.topology import DumbbellConfig, build_dumbbell
+from repro.util.units import mbps, ms
+
+
+@pytest.fixture(autouse=True)
+def metrics_disabled():
+    metrics.disable()
+    yield
+    metrics.disable()
+
+
+def run_attacked_dumbbell(horizon=4.0):
+    net = build_dumbbell(DumbbellConfig(n_flows=3))
+    train = PulseTrain.from_gamma(
+        gamma=0.5, rate_bps=mbps(30), extent=ms(100),
+        bottleneck_bps=mbps(15), n_pulses=20,
+    )
+    net.start_flows()
+    source = net.add_attack(train, start_time=1.0)
+    source.start()
+    net.run(until=horizon)
+    return net
+
+
+class TestEngineTelemetry:
+    def test_engine_counters_match_simulator(self):
+        with metrics.collecting() as registry:
+            sim = Simulator()
+            for delay in (1.0, 2.0, 3.0):
+                sim.schedule(delay, lambda: None)
+            cancelled = sim.schedule(1.5, lambda: None)
+            cancelled.cancel()
+            sim.run()
+        snap = registry.snapshot()
+        assert snap["engine.events_dispatched"] == sim.events_executed == 3
+        assert snap["engine.events_cancelled_skipped"] == 1.0
+        assert sim.events_cancelled_skipped == 1
+        assert snap["engine.runs"] == 1.0
+        assert snap["engine.sim_seconds"] == 3.0
+        assert snap["engine.wall_seconds"] > 0.0
+        assert snap["engine.peak_calendar_depth"] >= 4
+
+    def test_cancelled_skips_counted_when_disabled_too(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_cancelled_skipped == 1
+
+    def test_sim_seconds_includes_horizon_advance(self):
+        with metrics.collecting() as registry:
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.run(until=10.0)  # calendar drains early; clock advances
+        assert registry.snapshot()["engine.sim_seconds"] == 10.0
+
+    def test_results_bit_identical_with_metrics_on(self):
+        baseline = run_attacked_dumbbell()
+        with metrics.collecting():
+            instrumented = run_attacked_dumbbell()
+        assert (instrumented.aggregate_goodput_bytes()
+                == baseline.aggregate_goodput_bytes())
+        assert (instrumented.sim.events_executed
+                == baseline.sim.events_executed)
+        assert (instrumented.bottleneck.packets_dropped
+                == baseline.bottleneck.packets_dropped)
+
+
+class TestNetworkTelemetry:
+    def test_dumbbell_publishes_links_and_tcp(self):
+        with metrics.collecting() as registry:
+            net = run_attacked_dumbbell()
+        snap = registry.snapshot()
+        assert (snap["link.bottleneck.accepted_packets"]
+                == net.bottleneck.packets_sent)
+        assert (snap["link.bottleneck.dropped_packets"]
+                == net.bottleneck.packets_dropped)
+        assert snap["link.bottleneck.red_avg_queue"] >= 0.0
+        assert snap["tcp.flows"] == 3.0
+        assert snap["tcp.goodput_bytes"] == net.aggregate_goodput_bytes()
+        assert snap["tcp.fast_retransmits"] == float(
+            sum(s.fast_retransmits for s in net.senders))
+        assert snap["tcp.cwnd_min"] <= snap["tcp.cwnd_mean"] <= snap["tcp.cwnd_max"]
+
+    def test_testbed_publishes_pipe(self):
+        from repro.testbed.dummynet import TestbedConfig, build_testbed
+
+        with metrics.collecting() as registry:
+            net = build_testbed(TestbedConfig(n_flows=2))
+            net.start_flows()
+            net.run(until=2.0)
+        snap = registry.snapshot()
+        assert snap["link.pipe.accepted_packets"] == net.pipe_link.packets_sent
+        assert snap["tcp.flows"] == 2.0
+
+    def test_nothing_published_when_disabled(self):
+        registry = metrics.MetricsRegistry()
+        run_attacked_dumbbell()
+        assert len(registry) == 0
+        assert metrics.active() is None
+
+
+class TestSnapshotMethods:
+    def test_link_snapshot_keys_are_stable(self):
+        net = run_attacked_dumbbell()
+        snap = net.bottleneck.metrics_snapshot()
+        for key in ("accepted_bytes", "accepted_packets", "dropped_bytes",
+                    "dropped_packets", "peak_queue_bytes", "queue_bytes",
+                    "queue_packets", "disc_accepts", "disc_drops",
+                    "disc_early_drops", "red_avg_queue"):
+            assert key in snap, key
+
+    def test_choke_snapshot_has_match_counters(self):
+        from repro.sim.topology import make_choke_queue
+
+        queue = make_choke_queue(100_000.0)
+        snap = queue.metrics_snapshot()
+        assert snap["choke_match_drops"] == 0.0
+        assert snap["choke_evictions"] == 0.0
+        assert "red_avg_queue" in snap
+
+    def test_sender_snapshot_matches_counters(self):
+        net = run_attacked_dumbbell()
+        sender = net.senders[0]
+        snap = sender.metrics_snapshot()
+        assert snap["fast_retransmits"] == float(sender.fast_retransmits)
+        assert snap["timeouts"] == float(sender.timeouts)
+        assert snap["goodput_bytes"] == sender.goodput_bytes()
+        assert snap["cwnd"] == sender.cwnd
+
+
+class TestRunnerTelemetry:
+    def test_measure_many_publishes_runner_gauges(self):
+        from repro.runner import Cell, ExperimentRunner, PlatformSpec
+
+        runner = ExperimentRunner(jobs=1, cache_dir=None)
+        cell = Cell(
+            platform=PlatformSpec(kind="dumbbell", n_flows=1, seed=3),
+            warmup=0.5, window=0.5,
+        )
+        with metrics.collecting() as registry:
+            runner.measure_many([cell])
+            runner.measure_many([cell])  # second pass hits the memo
+        snap = registry.snapshot()
+        assert snap["runner.cells"] == 2.0
+        assert snap["runner.executed"] == 1.0
+        assert snap["runner.memo_hits"] == 1.0
+        assert snap["runner.hit_ratio"] == 0.5
+        assert snap["runner.seed_fanout"] == 1.0

@@ -1,0 +1,108 @@
+"""The metrics registry and its enable/disable switch."""
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def metrics_disabled():
+    """Every test starts and ends with no active registry."""
+    metrics.disable()
+    yield
+    metrics.disable()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = metrics.Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_gauge_set_and_track_max(self):
+        gauge = metrics.Gauge("g")
+        gauge.set(4.0)
+        gauge.track_max(2.0)
+        assert gauge.value == 4.0
+        gauge.track_max(9.0)
+        assert gauge.value == 9.0
+
+    def test_histogram_moments(self):
+        histogram = metrics.Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0,
+                        "mean": 2.0}
+
+    def test_empty_histogram_snapshot(self):
+        assert metrics.Histogram("h").snapshot() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
+        }
+
+    def test_timer_observes_duration(self):
+        timer = metrics.Timer("t")
+        with timer.time():
+            pass
+        snap = timer.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = metrics.MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        registry = metrics.MetricsRegistry()
+        registry.gauge("b.depth").set(7.0)
+        registry.counter("a.events").inc(3)
+        registry.histogram("c.sizes").observe(10.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.events", "b.depth", "c.sizes"]
+        assert snap["a.events"] == 3.0
+        assert snap["c.sizes"]["count"] == 1
+        json.dumps(snap)  # must serialize
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert metrics.active() is None
+        assert not metrics.enabled()
+        assert metrics.get_registry() is metrics.NULL_REGISTRY
+
+    def test_enable_installs_fresh_registry(self):
+        registry = metrics.enable()
+        assert metrics.active() is registry
+        assert metrics.get_registry() is registry
+        assert metrics.disable() is registry
+        assert metrics.active() is None
+
+    def test_null_registry_absorbs_everything(self):
+        null = metrics.NULL_REGISTRY
+        null.counter("x").inc(5)
+        null.gauge("y").set(1.0)
+        null.histogram("z").observe(2.0)
+        with null.timer("t").time():
+            pass
+        assert null.snapshot() == {}
+        assert len(null) == 0
+        assert "x" not in null
+
+    def test_collecting_restores_previous_state(self):
+        outer = metrics.enable()
+        with metrics.collecting() as inner:
+            assert metrics.active() is inner
+            assert inner is not outer
+        assert metrics.active() is outer

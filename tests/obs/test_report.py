@@ -1,0 +1,78 @@
+"""The ``repro obs report`` renderer."""
+
+import json
+
+from repro.obs.report import render_report, summarize_records
+
+
+def experiment_record(name="fig06", **overrides):
+    record = {
+        "record": "experiment",
+        "name": name,
+        "elapsed_seconds": 12.5,
+        "runner": {"cells": 32, "hit_ratio": 0.25},
+        "metrics": {
+            "engine.events_dispatched": 100_000.0,
+            "engine.wall_seconds": 0.5,
+            "tcp.goodput_bytes": 20_000_000.0,
+            "link.bottleneck.accepted_packets": 900.0,
+            "link.bottleneck.dropped_packets": 100.0,
+        },
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSummarize:
+    def test_renders_full_row(self):
+        text = summarize_records([experiment_record()])
+        row = text.splitlines()[2]
+        assert "fig06" in row
+        assert "12.5" in row      # wall seconds
+        assert "32" in row        # cells
+        assert "25" in row        # hit %
+        assert "200" in row       # 100k events / 0.5s = 200 kev/s
+        assert "20.00" in row     # goodput MB
+        assert "10.0" in row      # drop %
+
+    def test_sparse_record_renders_dashes(self):
+        text = summarize_records([
+            {"record": "experiment", "name": "fig04"},
+        ])
+        row = text.splitlines()[2]
+        assert "fig04" in row
+        assert "-" in row
+
+    def test_run_records_excluded_from_rows(self):
+        text = summarize_records([
+            {"record": "run", "name": "all"},
+        ])
+        assert "(no experiment records)" in text
+
+    def test_pipe_link_used_for_testbed_records(self):
+        record = experiment_record(name="fig12")
+        record["metrics"] = {
+            "link.pipe.accepted_packets": 300.0,
+            "link.pipe.dropped_packets": 100.0,
+        }
+        row = summarize_records([record]).splitlines()[2]
+        assert "25.0" in row  # 100 / 400 offered
+
+    def test_totals_footer(self):
+        text = summarize_records(
+            [experiment_record("a"), experiment_record("b")]
+        )
+        assert "2 records" in text
+        assert "64 cells" in text
+
+
+class TestRenderReport:
+    def test_merges_multiple_logs(self, tmp_path):
+        first = tmp_path / "one.jsonl"
+        second = tmp_path / "two.jsonl"
+        first.write_text(json.dumps(experiment_record("fig06")) + "\n")
+        second.write_text(json.dumps(experiment_record("fig07")) + "\n")
+        text = render_report([first, second])
+        assert "fig06" in text
+        assert "fig07" in text
+        assert str(first) in text

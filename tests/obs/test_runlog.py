@@ -1,0 +1,69 @@
+"""The JSON-lines run-log writer and reader."""
+
+import json
+
+from repro.obs.runlog import (
+    RunLogWriter,
+    base_record,
+    git_sha,
+    read_run_log,
+)
+
+
+class TestWriter:
+    def test_appends_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = RunLogWriter(path)
+        writer.write({"record": "experiment", "name": "fig06"})
+        writer.write({"record": "run", "name": "all"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "fig06"
+        assert writer.records_written == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "log.jsonl"
+        RunLogWriter(path).write({"record": "run", "name": "x"})
+        assert path.is_file()
+
+    def test_appends_across_writers(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        RunLogWriter(path).write({"record": "run", "name": "a"})
+        RunLogWriter(path).write({"record": "run", "name": "b"})
+        assert [r["name"] for r in read_run_log(path)] == ["a", "b"]
+
+    def test_non_json_values_degrade_to_strings(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        RunLogWriter(path).write({"record": "run", "name": "x",
+                                  "path": path})
+        assert read_run_log(path)[0]["path"] == str(path)
+
+
+class TestReader:
+    def test_skips_corrupt_and_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            '{"record": "experiment", "name": "ok"}\n'
+            "\n"
+            "{truncated...\n"
+            "[1, 2, 3]\n"
+            '{"record": "run", "name": "also ok"}\n'
+        )
+        records = read_run_log(path)
+        assert [r["name"] for r in records] == ["ok", "also ok"]
+
+
+class TestProvenance:
+    def test_base_record_fields(self):
+        record = base_record("experiment", "fig06")
+        assert record["record"] == "experiment"
+        assert record["name"] == "fig06"
+        assert record["timestamp"] > 0
+        assert "git_sha" in record
+        assert isinstance(record["full"], bool)
+
+    def test_git_sha_in_this_checkout(self):
+        # The repo is a git checkout, so a short SHA should come back;
+        # the function contract allows None only outside a checkout.
+        sha = git_sha()
+        assert sha is None or (isinstance(sha, str) and len(sha) >= 7)

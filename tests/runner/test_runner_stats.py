@@ -1,0 +1,99 @@
+"""RunnerStats accounting: ratios, snapshots, deltas, utilization."""
+
+import pytest
+
+from repro.runner import Cell, ExperimentRunner, PlatformSpec
+from repro.runner.runner import RunnerStats
+
+
+def make_stats(executed=0, cache=0, memo=0, seconds_each=1.0):
+    stats = RunnerStats()
+    for i in range(executed):
+        stats.record(f"x{i}", "executed", seconds_each)
+    for i in range(cache):
+        stats.record(f"c{i}", "cache")
+    for i in range(memo):
+        stats.record(f"m{i}", "memo")
+    return stats
+
+
+class TestRatios:
+    def test_hit_ratio_zero_when_empty(self):
+        assert make_stats().hit_ratio == 0.0
+
+    def test_hit_ratio_counts_cache_and_memo(self):
+        stats = make_stats(executed=1, cache=2, memo=1)
+        assert stats.cells == 4
+        assert stats.hit_ratio == 0.75
+
+    def test_worker_utilization_none_before_parallel_batches(self):
+        assert make_stats(executed=3).worker_utilization is None
+
+    def test_worker_utilization_is_busy_over_available(self):
+        stats = make_stats()
+        stats.parallel_batches = 1
+        stats.parallel_wall_seconds = 2.0
+        stats.parallel_busy_seconds = 3.0
+        stats.parallel_worker_seconds = 4.0  # 2 workers x 2 s wall
+        assert stats.worker_utilization == 0.75
+
+
+class TestSnapshots:
+    def test_snapshot_is_cumulative(self):
+        stats = make_stats(executed=2, cache=1, seconds_each=0.5)
+        stats.seeds.update({11, 12, 13})
+        snap = stats.snapshot()
+        assert snap["cells"] == 3
+        assert snap["executed"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["executed_seconds"] == pytest.approx(1.0)
+        assert snap["seed_fanout"] == 3
+        assert snap["worker_utilization"] is None
+
+    def test_delta_snapshot_excludes_work_before_mark(self):
+        stats = make_stats(executed=2, cache=2)
+        mark = stats.checkpoint()
+        stats.record("y", "executed", 2.0)
+        stats.record("z", "memo")
+        delta = stats.delta_snapshot(mark)
+        assert delta == {
+            "cells": 2, "executed": 1, "cache_hits": 0, "memo_hits": 1,
+            "hit_ratio": 0.5, "executed_seconds": pytest.approx(2.0),
+        }
+
+    def test_since_renders_delta_with_hit_ratio(self):
+        stats = make_stats(executed=1, memo=3, seconds_each=0.2)
+        text = stats.since((0, 0, 0, 0.0))
+        assert text.startswith("cells: 4 (1 executed")
+        assert "3 memo hits" in text
+        assert "75% hit ratio" in text
+
+
+class TestRunnerIntegration:
+    def test_seed_fanout_tracks_distinct_seeds(self):
+        runner = ExperimentRunner(jobs=1, cache_dir=None)
+        cells = [
+            Cell(platform=PlatformSpec(kind="dumbbell", n_flows=1, seed=s),
+                 warmup=0.5, window=0.5)
+            for s in (3, 4, 3)
+        ]
+        runner.measure_many(cells)
+        assert runner.stats.seeds == {3, 4}
+        assert runner.stats.snapshot()["seed_fanout"] == 2
+
+    def test_parallel_batch_accounting(self):
+        runner = ExperimentRunner(jobs=2, cache_dir=None)
+        cells = [
+            Cell(platform=PlatformSpec(kind="dumbbell", n_flows=1, seed=s),
+                 warmup=0.5, window=0.5)
+            for s in (5, 6)
+        ]
+        runner.measure_many(cells)
+        stats = runner.stats
+        assert stats.parallel_batches == 1
+        assert stats.parallel_wall_seconds > 0.0
+        assert stats.parallel_busy_seconds > 0.0
+        # Two workers for the whole batch wall time.
+        assert stats.parallel_worker_seconds == pytest.approx(
+            2.0 * stats.parallel_wall_seconds)
+        assert 0.0 < stats.worker_utilization <= 1.0

@@ -41,6 +41,29 @@ class TestParser:
         assert not args.no_cache
         assert args.cache_dir is None
 
+    def test_metrics_flag_off_by_default(self):
+        args = build_parser().parse_args(["fig04"])
+        assert args.metrics is None
+        assert not args.verbose
+        assert not args.quiet
+
+    def test_bare_metrics_flag_uses_default_runlog(self):
+        from repro.cli import DEFAULT_RUNLOG
+
+        args = build_parser().parse_args(["fig04", "--metrics"])
+        assert args.metrics == DEFAULT_RUNLOG
+
+    def test_metrics_flag_with_path(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        args = build_parser().parse_args(["fig04", "--metrics", str(path)])
+        assert args.metrics == path
+
+    def test_verbose_and_quiet_are_exclusive(self):
+        assert build_parser().parse_args(["fig04", "-v"]).verbose
+        assert build_parser().parse_args(["fig04", "-q"]).quiet
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig04", "-v", "-q"])
+
 
 class TestMain:
     def test_list_prints_catalogue(self, capsys):
@@ -75,3 +98,69 @@ class TestMain:
 
         assert main(["fig04", "--no-cache"]) == 0
         assert get_default_runner().cache is None
+
+    def test_quiet_suppresses_timing_but_keeps_rendering(self, capsys):
+        assert main(["fig04", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "risk" in out
+        assert "[total:" not in out
+        assert "[fig04:" not in out
+
+    def test_verbose_shows_per_cell_lines(self, capsys):
+        assert main(["fig01", "-v", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "executed in" in out  # per-cell debug line
+
+
+class TestMetricsFlag:
+    def test_writes_experiment_and_run_records(self, capsys, tmp_path):
+        from repro.obs.runlog import read_run_log
+
+        path = tmp_path / "runlog.jsonl"
+        assert main(["fig01", "--no-cache", "--metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"2 records -> {path}" in out
+        records = read_run_log(path)
+        assert [r["record"] for r in records] == ["experiment", "run"]
+        experiment, run = records
+        assert experiment["name"] == "fig01"
+        assert experiment["elapsed_seconds"] > 0
+        assert experiment["metrics"]["engine.events_dispatched"] > 0
+        assert any(key.startswith("link.bottleneck.")
+                   for key in experiment["metrics"])
+        assert any(key.startswith("tcp.") for key in experiment["metrics"])
+        # fig01 simulates directly rather than through runner cells, but
+        # the accounting block is still present in both records.
+        assert experiment["runner"]["hit_ratio"] == 0.0
+        assert run["runner"]["worker_utilization"] is None
+        assert run["experiments"] == ["fig01"]
+
+    def test_appends_across_invocations(self, capsys, tmp_path):
+        from repro.obs.runlog import read_run_log
+
+        path = tmp_path / "runlog.jsonl"
+        assert main(["fig04", "--metrics", str(path)]) == 0
+        assert main(["fig04", "--metrics", str(path)]) == 0
+        assert len(read_run_log(path)) == 4
+
+    def test_registry_disabled_after_run(self, capsys, tmp_path):
+        from repro.obs import metrics
+
+        main(["fig04", "--metrics", str(tmp_path / "log.jsonl")])
+        assert metrics.active() is None
+
+
+class TestObsReport:
+    def test_report_renders_run_log(self, capsys, tmp_path):
+        path = tmp_path / "runlog.jsonl"
+        assert main(["fig01", "--no-cache", "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "kev/s" in out
+        assert "1 records" in out  # run record excluded from the table
+
+    def test_report_missing_log_fails(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no such run log" in capsys.readouterr().err
