@@ -1,0 +1,75 @@
+"""Bench: warm-start checkpointing vs from-scratch warm-ups.
+
+Times one representative multi-γ attack panel -- the shape every gain
+figure sweeps -- with warm-start scheduling on and off, best of three
+runs each, and archives the comparison.  The checks encode the
+subsystem's two contracts:
+
+* results are bit-identical with and without warm starts;
+* sharing the warm-up prefix is at least 1.2x faster at ``jobs=1`` on a
+  panel whose warm-up dominates the per-cell simulation (the paper's
+  sweeps warm up for 6-10 s and measure 20-50 s windows at full scale;
+  this bench uses the smoke-scale 6 s warm-up / 2 s window, where the
+  prefix is ~75% of each cell).
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.attack import PulseTrain
+from repro.runner import Cell, ExperimentRunner, PlatformSpec
+from repro.util.units import mbps, ms
+
+BEST_OF = 3
+GAMMAS = (0.3, 0.45, 0.6, 0.75, 0.9, 1.2)
+WARMUP = 6.0
+WINDOW = 2.0
+
+
+def _panel():
+    platform = PlatformSpec(kind="dumbbell", n_flows=15, seed=42)
+    baseline = Cell(platform=platform, warmup=WARMUP, window=WINDOW)
+    return [baseline] + [
+        Cell(
+            platform=platform, warmup=WARMUP, window=WINDOW,
+            train=PulseTrain.from_gamma(
+                gamma=gamma, rate_bps=mbps(60), extent=ms(100),
+                bottleneck_bps=mbps(15), n_pulses=2,
+            ),
+        )
+        for gamma in GAMMAS
+    ]
+
+
+def _best_of(warm_start):
+    """Best wall time over BEST_OF fresh-runner executions."""
+    best_wall, results = float("inf"), None
+    for _ in range(BEST_OF):
+        runner = ExperimentRunner(jobs=1, warm_start=warm_start)
+        started = time.perf_counter()
+        results = runner.measure_many(_panel())
+        best_wall = min(best_wall, time.perf_counter() - started)
+    return results, best_wall
+
+
+def test_warm_start_speedup(benchmark, record_result):
+    cold_results, cold_wall = _best_of(warm_start=False)
+    warm_results, warm_wall = run_once(benchmark, _best_of, True)
+
+    speedup = cold_wall / max(warm_wall, 1e-9)
+    cells = len(_panel())
+    rows = [
+        f"Warm-start bench -- one {len(GAMMAS)}-gamma panel + baseline "
+        f"({cells} cells, 15 flows, {WARMUP:.0f}s warm-up / "
+        f"{WINDOW:.0f}s window), best of {BEST_OF}, jobs=1",
+        f"{'mode':<16} {'wall':>8}",
+        f"{'from scratch':<16} {cold_wall:>7.2f}s",
+        f"{'warm-start':<16} {warm_wall:>7.2f}s ({speedup:.2f}x)",
+    ]
+    record_result("warm_start", "\n".join(rows))
+
+    assert warm_results == cold_results  # bit-identical, field for field
+    assert speedup >= 1.2, (
+        f"warm-start speedup {speedup:.2f}x below the 1.2x floor "
+        f"(cold {cold_wall:.2f}s, warm {warm_wall:.2f}s)"
+    )

@@ -15,9 +15,12 @@ sweeps); ``-o DIR`` additionally writes each rendering to
 ``DIR/<name>.txt``.
 
 ``--jobs N`` fans independent measurement cells out over N worker
-processes; ``--cache-dir DIR`` / ``--no-cache`` control the on-disk
-result cache (default: ``$XDG_CACHE_HOME/repro-pdos``).  Results are
-bit-identical regardless of job count or cache state.
+processes (one persistent pool per invocation); ``--cache-dir DIR`` /
+``--no-cache`` control the on-disk result cache (default:
+``$XDG_CACHE_HOME/repro-pdos``).  Cells sharing an attack-free warm-up
+prefix simulate it once and fork from a frozen snapshot;
+``--no-warm-start`` re-simulates every warm-up instead.  Results are
+bit-identical regardless of job count, cache state, or warm-start mode.
 
 ``--profile`` wraps each experiment in :func:`repro.sim.profile.profile_run`
 and prints wall time, simulator events/sec, and the hottest functions
@@ -228,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache for this invocation",
     )
     parser.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable warm-start checkpointing (simulate every cell's "
+             "warm-up from scratch instead of forking a shared snapshot; "
+             "results are bit-identical either way)",
+    )
+    parser.add_argument(
         "--cache-dir", type=pathlib.Path, default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR, else "
              "$XDG_CACHE_HOME/repro-pdos)",
@@ -279,7 +288,8 @@ def _make_runner(args):  # deferred import keeps `--help` fast
         cache_dir = args.cache_dir
     else:
         cache_dir = default_cache_dir()
-    return ExperimentRunner(jobs=args.jobs, cache_dir=cache_dir)
+    return ExperimentRunner(jobs=args.jobs, cache_dir=cache_dir,
+                            warm_start=not args.no_warm_start)
 
 
 def _run_one(name: str, output_dir, runner=None, profile=False,
@@ -370,9 +380,14 @@ def main(argv=None) -> int:
         from repro.obs.runlog import RunLogWriter
         writer = RunLogWriter(args.metrics)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        _run_one(name, args.output_dir, runner, profile=args.profile,
-                 writer=writer)
+    try:
+        for name in names:
+            _run_one(name, args.output_dir, runner, profile=args.profile,
+                     writer=writer)
+    finally:
+        # Tear down the persistent worker pool once all experiments in
+        # this invocation have drained it.
+        runner.close()
     _log.info("[total: %s]", runner.stats.summary())
     if writer is not None:
         from repro.obs.runlog import base_record

@@ -46,6 +46,9 @@ class _Row:
             self.elapsed = None
         self.cells = _runner_field(record, "cells")
         self.hit_ratio = _runner_field(record, "hit_ratio")
+        self.warm_starts = _runner_field(record, "warm_starts")
+        self.warmup_seconds_saved = _runner_field(
+            record, "warmup_seconds_saved")
         self.events = _metric(record, "engine.events_dispatched")
         wall = _metric(record, "engine.wall_seconds")
         self.events_per_sec = (
@@ -116,10 +119,20 @@ def summarize_records(records: Iterable[dict]) -> str:
     total_elapsed = sum(r.elapsed for r in rows if r.elapsed is not None)
     total_cells = sum(r.cells for r in rows if r.cells is not None)
     total_events = sum(r.events for r in rows if r.events is not None)
-    lines.append(
+    footer = (
         f"\n{len(rows)} records; {total_elapsed:.1f}s wall, "
         f"{total_cells:.0f} cells, {total_events:.0f} engine events"
     )
+    total_warm = sum(r.warm_starts for r in rows
+                     if r.warm_starts is not None)
+    if total_warm:
+        total_saved = sum(r.warmup_seconds_saved for r in rows
+                          if r.warmup_seconds_saved is not None)
+        footer += (
+            f"; {total_warm:.0f} warm starts saved {total_saved:.0f}s "
+            "of simulated warm-up"
+        )
+    lines.append(footer)
     return "\n".join(lines)
 
 

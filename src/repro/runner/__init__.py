@@ -10,11 +10,14 @@ package turns that structure into throughput:
 * :mod:`repro.runner.cache` persists results on disk under a content
   hash of the full scenario plus a code-version fingerprint;
 * :mod:`repro.runner.runner` fans cells out across worker processes and
-  layers an in-process memo plus the disk cache in front of execution.
+  layers an in-process memo plus the disk cache in front of execution,
+  grouping cache misses by shared warm-up prefix so each prefix
+  simulates once and every other cell forks from its frozen snapshot.
 
 Cells are deterministic given their spec (every scenario is seeded and
-rebuilt from scratch per measurement), so a cell run serially, in a
-worker process, or replayed from cache yields bit-identical goodput.
+rebuilt from scratch -- or forked from a deterministic warm-up snapshot
+-- per measurement), so a cell run serially, in a worker process, warm-
+started, or replayed from cache yields bit-identical goodput.
 """
 
 from repro.runner.cache import (
@@ -27,8 +30,11 @@ from repro.runner.cells import (
     Cell,
     CellResult,
     DeploymentSpec,
+    GroupResult,
     PlatformSpec,
     execute_cell,
+    execute_cell_group,
+    warmup_key,
 )
 from repro.runner.runner import (
     CellTiming,
@@ -44,6 +50,7 @@ __all__ = [
     "CellTiming",
     "DeploymentSpec",
     "ExperimentRunner",
+    "GroupResult",
     "PlatformSpec",
     "ResultCache",
     "RunnerStats",
@@ -51,6 +58,8 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "execute_cell",
+    "execute_cell_group",
     "get_default_runner",
     "set_default_runner",
+    "warmup_key",
 ]

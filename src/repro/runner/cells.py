@@ -8,12 +8,23 @@ the measurement window, and the optional attack (a single
 it rebuilds the scenario from scratch, seeds it from the spec, and
 measures -- so the same cell yields bit-identical results whether it
 runs inline, in a worker process, or is replayed from the cache.
+
+Warm-start grouping: every cell's execution begins with an attack-free
+warm-up that depends only on the platform, the warm-up length, and the
+(passive) conformance-detector setting -- :func:`warmup_key` captures
+exactly that identity.  :func:`execute_cell_group` runs a batch of
+same-key cells by simulating the shared prefix once, freezing it with
+:class:`~repro.sim.checkpoint.NetworkSnapshot`, and measuring every
+cell on a bit-identical fork.  ``execute_cell(cell)`` and a grouped run
+of the same cell produce byte-for-byte equal :class:`CellResult`\\ s.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+import json
+import time
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.attack import PulseTrain
 from repro.sim.tcp import TCPConfig
@@ -23,7 +34,8 @@ from repro.util.errors import ValidationError
 from repro.util.validate import check_non_negative, check_positive
 
 __all__ = ["PlatformSpec", "DeploymentSpec", "Cell", "CellResult",
-           "execute_cell"]
+           "GroupResult", "execute_cell", "execute_cell_group",
+           "warmup_key"]
 
 
 def _tcp_payload(tcp: Optional[TCPConfig]) -> Optional[dict]:
@@ -224,8 +236,30 @@ class CellResult:
     flagged_sources: Optional[int] = None
 
 
-def execute_cell(cell: Cell) -> CellResult:
-    """Run one measurement from scratch (pure: spec in, result out)."""
+def warmup_key(cell: Cell) -> str:
+    """The identity of a cell's attack-free warm-up prefix.
+
+    Two cells with equal keys simulate byte-for-byte identical state up
+    to ``t = warmup``: same platform (topology, seeds, stack), same
+    warm-up length, and the same conformance-detector attachment (the
+    detector is passive, but it *observes* warm-up traffic, so its
+    setting is part of the prefix).  The attack train/deployment and the
+    window length deliberately do not appear -- they only act after the
+    prefix ends.
+    """
+    return json.dumps({
+        "platform": cell.platform.describe(),
+        "warmup": cell.warmup,
+        "rate_floor_bps": cell.rate_floor_bps,
+    }, sort_keys=True)
+
+
+def _build_warm(cell: Cell):
+    """Build the cell's scenario and simulate its attack-free warm-up.
+
+    Returns ``(net, detector)`` with the simulation clock at
+    ``cell.warmup``; the result depends only on :func:`warmup_key`.
+    """
     net = cell.platform.build()
     detector = None
     if cell.rate_floor_bps is not None:
@@ -237,6 +271,11 @@ def execute_cell(cell: Cell) -> CellResult:
 
     net.start_flows()
     net.run(until=cell.warmup)
+    return net, detector
+
+
+def _measure_warmed(net, detector, cell: Cell) -> CellResult:
+    """Apply the cell's attack to a warmed network and measure."""
     before = net.aggregate_goodput_bytes()
 
     attack_flow_ids: List[int] = []
@@ -259,3 +298,84 @@ def execute_cell(cell: Cell) -> CellResult:
             1 for flow_id in attack_flow_ids if detector.is_flagged(flow_id)
         )
     return CellResult(goodput_bytes=goodput, flagged_sources=flagged)
+
+
+def execute_cell(cell: Cell) -> CellResult:
+    """Run one measurement from scratch (pure: spec in, result out)."""
+    net, detector = _build_warm(cell)
+    return _measure_warmed(net, detector, cell)
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupResult:
+    """What :func:`execute_cell_group` produced, plus its economics.
+
+    Attributes:
+        results: one :class:`CellResult` per input cell, in order.
+        elapsed: wall-clock seconds per cell.  The shared warm-up (and
+            the snapshot) is attributed to the first cell, which
+            actually paid for it, so ``sum(elapsed)`` is the group's
+            total execution time.
+        warmup_sims: warm-up prefixes simulated from scratch (1 here;
+            the runner sums across groups).
+        warm_starts: cells measured on a snapshot fork instead of
+            re-simulating their warm-up.
+        warmup_seconds_saved: *simulated* seconds avoided -- the sum of
+            the forked cells' warm-up lengths.
+    """
+
+    results: Tuple[CellResult, ...]
+    elapsed: Tuple[float, ...]
+    warmup_sims: int
+    warm_starts: int
+    warmup_seconds_saved: float
+
+
+def execute_cell_group(cells: Sequence[Cell]) -> GroupResult:
+    """Run cells sharing one warm-up prefix: simulate it once, fork the rest.
+
+    All cells must agree on :func:`warmup_key` (enforced).  The prefix
+    is simulated once; the first cell is measured on that very network
+    (no copy), every later cell on a private
+    :class:`~repro.sim.checkpoint.NetworkSnapshot` fork.  Results are
+    bit-identical to calling :func:`execute_cell` per cell.
+    """
+    if not cells:
+        return GroupResult((), (), 0, 0, 0.0)
+    first = cells[0]
+    key = warmup_key(first)
+    for cell in cells[1:]:
+        if warmup_key(cell) != key:
+            raise ValidationError(
+                "execute_cell_group: cells must share a warmup prefix "
+                f"(expected {key}, got {warmup_key(cell)})"
+            )
+
+    started = time.perf_counter()
+    net, detector = _build_warm(first)
+    if len(cells) == 1:
+        result = _measure_warmed(net, detector, first)
+        return GroupResult(
+            (result,), (time.perf_counter() - started,), 1, 0, 0.0,
+        )
+
+    from repro.sim.checkpoint import NetworkSnapshot
+
+    # Freeze before measuring the first cell: its attack must not leak
+    # into the forks.  The detector rides in the same deep copy so its
+    # monitor hooks stay aliased to the (copied) links.
+    snapshot = NetworkSnapshot(net, detector)
+    results = [_measure_warmed(net, detector, first)]
+    elapsed = [time.perf_counter() - started]
+    for cell in cells[1:]:
+        forked = time.perf_counter()
+        fork_net, (fork_detector,) = snapshot.fork()
+        results.append(_measure_warmed(fork_net, fork_detector, cell))
+        elapsed.append(time.perf_counter() - forked)
+    return GroupResult(
+        results=tuple(results),
+        elapsed=tuple(elapsed),
+        warmup_sims=1,
+        warm_starts=len(cells) - 1,
+        warmup_seconds_saved=float(sum(cell.warmup for cell in cells[1:])),
+    )

@@ -8,9 +8,23 @@ execution -- inline, or fanned out across worker processes when
 ``jobs > 1``.  Identical cells inside one batch are deduplicated before
 dispatch, so a figure whose curves share a baseline measures it once.
 
+Warm-start scheduling: cells that miss every cache are grouped by
+:func:`~repro.runner.cells.warmup_key` -- the identity of their shared
+attack-free warm-up prefix -- and each group simulates the prefix once,
+then forks every member from a frozen
+:class:`~repro.sim.checkpoint.NetworkSnapshot` (see
+:func:`~repro.runner.cells.execute_cell_group`).  A gain sweep whose
+cells differ only in the attack train pays for one warm-up instead of
+one per cell.  Results are bit-identical to from-scratch execution, the
+cache keys are unchanged, and ``warm_start=False`` (or
+``REPRO_NO_WARM_START=1``) restores cell-at-a-time execution.
+
 Determinism: cells carry their own seeds and are rebuilt from scratch
-per execution, so worker placement and completion order cannot change
-any result -- only wall-clock time.
+(or forked from a deterministic prefix) per execution, so worker
+placement and completion order cannot change any result -- only
+wall-clock time.  Parallel runs split a group into contiguous chunks,
+each re-simulating the prefix; chunking therefore trades some warm-up
+sharing for parallelism without affecting any result.
 """
 
 from __future__ import annotations
@@ -18,6 +32,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import logging
+import math
 import multiprocessing
 import os
 import time
@@ -26,7 +41,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.obs import metrics as _obs_metrics
 from repro.obs.instrument import publish_runner
 from repro.runner.cache import ResultCache, cell_key, code_version
-from repro.runner.cells import Cell, CellResult, execute_cell
+from repro.runner.cells import (
+    Cell,
+    CellResult,
+    GroupResult,
+    execute_cell_group,
+    warmup_key,
+)
 from repro.util.errors import ValidationError
 
 __all__ = ["CellTiming", "RunnerStats", "ExperimentRunner",
@@ -58,6 +79,12 @@ class RunnerStats:
     cache_hits: int = 0
     memo_hits: int = 0
     executed_seconds: float = 0.0
+    #: cells measured on a warm-start fork instead of a fresh warm-up.
+    warm_starts: int = 0
+    #: warm-up prefixes actually simulated (one per executed group chunk).
+    warmup_sims: int = 0
+    #: simulated warm-up seconds avoided by forking.
+    warmup_seconds_saved: float = 0.0
     timings: List[CellTiming] = dataclasses.field(default_factory=list)
     #: distinct platform seeds seen across all measured cells.
     seeds: Set[int] = dataclasses.field(default_factory=set)
@@ -102,17 +129,21 @@ class RunnerStats:
             return None
         return self.parallel_busy_seconds / self.parallel_worker_seconds
 
-    def checkpoint(self) -> Tuple[int, int, int, float]:
+    def checkpoint(self) -> Tuple[int, int, int, float, int, int, float]:
         """An opaque marker for :meth:`since` / :meth:`delta_snapshot`."""
         return (self.executed, self.cache_hits, self.memo_hits,
-                self.executed_seconds)
+                self.executed_seconds, self.warm_starts, self.warmup_sims,
+                self.warmup_seconds_saved)
 
-    def delta_snapshot(self, mark: Tuple[int, int, int, float]) -> dict:
+    def delta_snapshot(self, mark: Tuple) -> dict:
         """JSON-ready accounting of the work done since *mark*."""
         executed = self.executed - mark[0]
         cached = self.cache_hits - mark[1]
         memo = self.memo_hits - mark[2]
         total = executed + cached + memo
+        # Marks from before the warm-start counters existed are accepted
+        # as zero baselines (run-log replay tooling stores them).
+        warm_mark = mark[4:] if len(mark) >= 7 else (0, 0, 0.0)
         return {
             "cells": total,
             "executed": executed,
@@ -120,11 +151,14 @@ class RunnerStats:
             "memo_hits": memo,
             "hit_ratio": ((cached + memo) / total) if total else 0.0,
             "executed_seconds": self.executed_seconds - mark[3],
+            "warm_starts": self.warm_starts - warm_mark[0],
+            "warmup_sims": self.warmup_sims - warm_mark[1],
+            "warmup_seconds_saved": self.warmup_seconds_saved - warm_mark[2],
         }
 
     def snapshot(self) -> dict:
         """JSON-ready cumulative accounting (feeds run logs / metrics)."""
-        snap = self.delta_snapshot((0, 0, 0, 0.0))
+        snap = self.delta_snapshot(_ZERO_MARK)
         snap.update({
             "seed_fanout": len(self.seeds),
             "parallel_batches": self.parallel_batches,
@@ -134,25 +168,34 @@ class RunnerStats:
         })
         return snap
 
-    def since(self, mark: Tuple[int, int, int, float]) -> str:
+    def since(self, mark: Tuple) -> str:
         """Human-readable delta summary since *mark*."""
         delta = self.delta_snapshot(mark)
-        return (
+        line = (
             f"cells: {delta['cells']} ({delta['executed']} executed in "
             f"{delta['executed_seconds']:.1f}s sim, "
             f"{delta['cache_hits']} cache hits, "
             f"{delta['memo_hits']} memo hits; "
             f"{100.0 * delta['hit_ratio']:.0f}% hit ratio)"
         )
+        if delta["warm_starts"]:
+            line += (
+                f"; {delta['warm_starts']} warm starts saved "
+                f"{delta['warmup_seconds_saved']:.0f}s of simulated warm-up"
+            )
+        return line
 
     def summary(self) -> str:
-        return self.since((0, 0, 0, 0.0))
+        return self.since(_ZERO_MARK)
 
 
-def _timed_execute(cell: Cell) -> Tuple[CellResult, float]:
-    started = time.perf_counter()
-    result = execute_cell(cell)
-    return result, time.perf_counter() - started
+#: A checkpoint mark taken before any work (the epoch baseline).
+_ZERO_MARK = (0, 0, 0, 0.0, 0, 0, 0.0)
+
+
+def _execute_unit(cells: Tuple[Cell, ...]) -> GroupResult:
+    """Worker entry point: run one warm-up-sharing chunk of cells."""
+    return execute_cell_group(cells)
 
 
 def _mp_context():
@@ -163,22 +206,31 @@ def _mp_context():
 
 
 class ExperimentRunner:
-    """Parallel, cached execution of measurement cells.
+    """Parallel, cached, warm-start-scheduled execution of cells.
 
     Args:
         jobs: worker processes for cache-missing cells; 1 runs inline.
+            The pool is created on first parallel batch and reused until
+            :meth:`close` (the runner is also a context manager).
         cache_dir: directory for the persistent result cache, or
             ``None`` to disable disk caching (the in-process memo is
             always on).
+        warm_start: group cache-missing cells by their shared warm-up
+            prefix and fork each group from one frozen snapshot (the
+            default).  ``False`` re-simulates every cell from scratch;
+            results are bit-identical either way.
     """
 
-    def __init__(self, *, jobs: int = 1, cache_dir=None) -> None:
+    def __init__(self, *, jobs: int = 1, cache_dir=None,
+                 warm_start: bool = True) -> None:
         if jobs < 1:
             raise ValidationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.warm_start = warm_start
         self.stats = RunnerStats()
         self._memo: Dict[str, CellResult] = {}
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     def measure(self, cell: Cell) -> CellResult:
@@ -193,7 +245,7 @@ class ExperimentRunner:
         """Resolve a batch, fanning cache misses out across workers.
 
         Results come back in input order.  Duplicate cells (same content
-        key) are measured once.
+        key) are measured once and counted as memo hits thereafter.
         """
         version = code_version()
         keys = [cell_key(cell, version) for cell in cells]
@@ -202,6 +254,9 @@ class ExperimentRunner:
         for key, cell in zip(keys, cells):
             self.stats.seeds.add(cell.platform.seed)
             if key in results or key in pending:
+                # An intra-batch duplicate resolves to one measurement;
+                # account for it, like any other avoided execution.
+                self.stats.record(key, "memo")
                 continue
             memo = self._memo.get(key)
             if memo is not None:
@@ -219,38 +274,102 @@ class ExperimentRunner:
             pending[key] = cell
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                self._execute_parallel(pending, results)
+            units = self._plan_units(pending)
+            if self.jobs > 1 and len(units) > 1:
+                self._execute_parallel(units, results)
             else:
-                for key, cell in pending.items():
-                    result, elapsed = _timed_execute(cell)
-                    self._finish(key, cell, result, elapsed)
-                    results[key] = result
+                for unit in units:
+                    self._absorb_unit(unit, _execute_unit(
+                        tuple(cell for _key, cell in unit)), results)
         # Per-batch (never per-cell) telemetry refresh; a no-op without
         # an active registry.
         publish_runner(_obs_metrics.active(), self.stats.snapshot())
         return [results[key] for key in keys]
 
     # ------------------------------------------------------------------
-    def _execute_parallel(self, pending: Dict[str, Cell],
+    # execution planning / bookkeeping
+    # ------------------------------------------------------------------
+    def _plan_units(
+        self, pending: Dict[str, Cell],
+    ) -> List[List[Tuple[str, Cell]]]:
+        """Partition cache-missing cells into warm-up-sharing work units.
+
+        With warm starts off every cell is its own unit.  Otherwise
+        cells group by :func:`warmup_key`; serially each group is one
+        unit (maximal sharing).  In parallel, groups are split into
+        contiguous chunks -- each chunk pays one warm-up -- only as far
+        as needed to keep all workers busy, so a single large sweep
+        still saturates the pool while many small groups stay whole.
+        Chunking cannot change results, only how often the (bit-
+        identical) prefix is re-simulated.
+        """
+        if not self.warm_start:
+            return [[(key, cell)] for key, cell in pending.items()]
+        groups: Dict[str, List[Tuple[str, Cell]]] = {}
+        for key, cell in pending.items():
+            groups.setdefault(warmup_key(cell), []).append((key, cell))
+        ordered = list(groups.values())
+        chunks_per_group = 1
+        if self.jobs > 1 and len(ordered) < self.jobs:
+            chunks_per_group = math.ceil(self.jobs / len(ordered))
+        units: List[List[Tuple[str, Cell]]] = []
+        for group in ordered:
+            n_chunks = min(len(group), chunks_per_group)
+            size = math.ceil(len(group) / n_chunks)
+            units.extend(
+                group[i:i + size] for i in range(0, len(group), size)
+            )
+        return units
+
+    def _absorb_unit(self, unit: List[Tuple[str, Cell]],
+                     group_result: GroupResult,
+                     results: Dict[str, CellResult]) -> None:
+        """Fold one executed unit into results, memo, cache, and stats."""
+        for (key, cell), result, elapsed in zip(
+            unit, group_result.results, group_result.elapsed,
+        ):
+            self._finish(key, cell, result, elapsed)
+            results[key] = result
+        stats = self.stats
+        stats.warmup_sims += group_result.warmup_sims
+        stats.warm_starts += group_result.warm_starts
+        stats.warmup_seconds_saved += group_result.warmup_seconds_saved
+        if group_result.warm_starts:
+            _log.debug(
+                "unit of %d cells: 1 warm-up + %d forks (saved %.0fs sim)",
+                len(unit), group_result.warm_starts,
+                group_result.warmup_seconds_saved,
+            )
+
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The persistent worker pool, created on first parallel batch."""
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_mp_context(),
+            )
+        return self._pool
+
+    def _execute_parallel(self, units: List[List[Tuple[str, Cell]]],
                           results: Dict[str, CellResult]) -> None:
-        workers = min(self.jobs, len(pending))
-        _log.debug("fanning %d cells over %d workers", len(pending), workers)
+        cell_count = sum(len(unit) for unit in units)
+        workers = min(self.jobs, len(units))
+        _log.debug("fanning %d cells (%d units) over %d workers",
+                   cell_count, len(units), workers)
         batch_started = time.perf_counter()
         busy = 0.0
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=_mp_context(),
-        ) as pool:
-            futures = {
-                pool.submit(_timed_execute, cell): key
-                for key, cell in pending.items()
-            }
-            for future in concurrent.futures.as_completed(futures):
-                key = futures[future]
-                result, elapsed = future.result()
-                busy += elapsed
-                self._finish(key, pending[key], result, elapsed)
-                results[key] = result
+        pool = self._get_pool()
+        futures = {
+            pool.submit(
+                _execute_unit, tuple(cell for _key, cell in unit)
+            ): unit
+            for unit in units
+        }
+        for future in concurrent.futures.as_completed(futures):
+            unit = futures[future]
+            group_result = future.result()
+            busy += sum(group_result.elapsed)
+            self._absorb_unit(unit, group_result, results)
         wall = time.perf_counter() - batch_started
         stats = self.stats
         stats.parallel_batches += 1
@@ -268,6 +387,25 @@ class ExperimentRunner:
         self.stats.record(key, "executed", elapsed)
         _log.debug("cell %s: executed in %.2fs", key[:12], elapsed)
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if one was created).
+
+        Idempotent; the runner remains usable afterwards (a new pool is
+        created on the next parallel batch).
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 # ----------------------------------------------------------------------
 # the process-wide default runner
@@ -275,18 +413,46 @@ class ExperimentRunner:
 _default_runner: Optional[ExperimentRunner] = None
 
 
+def _env_positive_int(name: str, default: int) -> int:
+    """Parse a >= 1 integer environment variable, naming it on failure."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValidationError(
+            f"environment variable {name} must be an integer >= 1, "
+            f"got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValidationError(
+            f"environment variable {name} must be >= 1, got {value}"
+        )
+    return value
+
+
+def _env_flag(name: str) -> bool:
+    """True when an environment flag is set to a truthy value."""
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
 def get_default_runner() -> ExperimentRunner:
     """The runner measurements use when no explicit one is passed.
 
     Created lazily from the environment: ``REPRO_JOBS`` sets the worker
-    count (default 1) and ``REPRO_CACHE_DIR`` enables the disk cache at
-    that location (default: memo only, no disk cache).
+    count (default 1; must parse as an integer >= 1),
+    ``REPRO_CACHE_DIR`` enables the disk cache at that location
+    (default: memo only, no disk cache), and ``REPRO_NO_WARM_START=1``
+    disables warm-start scheduling.
     """
     global _default_runner
     if _default_runner is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
-        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-        _default_runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir)
+        _default_runner = ExperimentRunner(
+            jobs=_env_positive_int("REPRO_JOBS", 1),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            warm_start=not _env_flag("REPRO_NO_WARM_START"),
+        )
     return _default_runner
 
 

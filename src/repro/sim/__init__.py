@@ -12,12 +12,15 @@ the equivalent substrate built from scratch:
 * :mod:`repro.sim.attacker` -- pulse-train and CBR sources;
 * :mod:`repro.sim.workload` -- finite-transfer ("mice") workloads;
 * :mod:`repro.sim.topology` -- the Fig. 5 dumbbell builder;
+* :mod:`repro.sim.checkpoint` -- warm-start snapshot/fork of a built
+  network (simulate a shared warm-up once, fork each sweep cell);
 * :mod:`repro.sim.trace` -- rate / drop / queue instrumentation;
 * :mod:`repro.sim.profile` -- cProfile wrapper reporting events/sec;
 * :mod:`repro.sim.tracefile` -- ns-2-format trace file writer/parser.
 """
 
 from repro.sim.attacker import CBRSource, PulseAttackSource
+from repro.sim.checkpoint import NetworkSnapshot
 from repro.sim.engine import Event, Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node
@@ -53,6 +56,7 @@ __all__ = [
     "Event",
     "FlowRecord",
     "Link",
+    "NetworkSnapshot",
     "Node",
     "Packet",
     "PacketKind",

@@ -21,6 +21,7 @@ entries without counting them.
 
 from __future__ import annotations
 
+import copy as _copy
 import itertools
 from heapq import heappop, heappush
 from math import inf
@@ -134,6 +135,35 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still in the calendar, including cancelled ones."""
         return len(self._heap)
+
+    @property
+    def next_event_seq(self) -> int:
+        """The seq the next scheduled event will receive (non-consuming).
+
+        Two simulators whose clocks, calendars, and seq counters agree
+        dispatch identically; warm-start checkpointing uses this to
+        assert a forked engine resumes exactly where the original left
+        off.
+        """
+        # itertools.count cannot be inspected in place; advance a copy.
+        return next(_copy.copy(self._counter))
+
+    def state_digest(self) -> tuple:
+        """A comparable fingerprint of the full scheduling state.
+
+        Covers the clock, the seq counter position, and every calendar
+        entry's ``(time, seq, cancelled)`` triple in heap order.  Heap
+        order is deterministic for identical operation sequences, so two
+        digests are equal iff the engines will dispatch identically.
+        The callables themselves are deliberately excluded -- bound
+        methods never compare equal across deep copies.
+        """
+        return (
+            self._now,
+            self.next_event_seq,
+            tuple((entry[0], entry[1], entry[2] is None)
+                  for entry in self._heap),
+        )
 
     # ------------------------------------------------------------------
     # scheduling

@@ -343,6 +343,25 @@ class Link:
         """Total bytes accepted onto the wire so far."""
         return self.bytes_sent
 
+    def state_digest(self) -> tuple:
+        """Every value the link's future behaviour can depend on.
+
+        Covers the serialization horizon, the lazy departure list (the
+        physical FIFO), the cumulative statistics, and the attached
+        discipline's own digest.  Warm-start checkpointing compares
+        digests to prove a forked link carries and drops exactly like
+        the original.
+        """
+        return (
+            self._busy_until,
+            self._queued_bytes,
+            tuple((entry[0], entry[1]) for entry in self._departures),
+            self.bytes_sent, self.packets_sent,
+            self.bytes_dropped, self.packets_dropped,
+            self.peak_queue_bytes,
+            self.queue.state_digest(),
+        )
+
     def metrics_snapshot(self) -> dict:
         """Cumulative link telemetry for the observability layer.
 

@@ -8,6 +8,7 @@ UDP-like constant-size datagrams with no transport state.
 
 from __future__ import annotations
 
+import copy
 import enum
 import itertools
 from typing import Optional, Tuple
@@ -65,6 +66,22 @@ class Packet:
         different (run-order-dependent) uid stream in its traces.
         """
         cls._uid_counter = itertools.count()
+
+    @classmethod
+    def peek_uid(cls) -> int:
+        """The uid the next packet will receive, without consuming it.
+
+        Warm-start checkpointing records this alongside a network
+        snapshot so every fork resumes the exact uid stream a
+        from-scratch run would produce.
+        """
+        # itertools.count cannot be inspected in place; advance a copy.
+        return next(copy.copy(cls._uid_counter))
+
+    @classmethod
+    def set_next_uid(cls, value: int) -> None:
+        """Make *value* the next uid handed out (checkpoint restore)."""
+        cls._uid_counter = itertools.count(value)
 
     def __init__(
         self,

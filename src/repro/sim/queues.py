@@ -83,6 +83,16 @@ class QueueDiscipline:
             "disc_early_drops": float(self.early_drops),
         }
 
+    def state_digest(self) -> tuple:
+        """Every value a future admission decision can depend on.
+
+        Subclasses extend this with their dynamic state (RED's EWMA,
+        inter-drop count, and RNG state); warm-start checkpointing
+        compares digests to prove a forked discipline decides exactly
+        like the original.
+        """
+        return (self.accepts, self.drops, self.early_drops)
+
     def admit(self, pkt_bytes: float, state: QueueState) -> bool:
         """Return True to enqueue the packet, False to drop it."""
         raise NotImplementedError
@@ -203,6 +213,13 @@ class REDQueue(QueueDiscipline):
         snap = super().metrics_snapshot()
         snap["red_avg_queue"] = self.avg
         return snap
+
+    def state_digest(self) -> tuple:
+        # The EWMA, the inter-drop count, and the coin-flip RNG decide
+        # every future early drop; all three must survive a fork intact.
+        return super().state_digest() + (
+            self.avg, self.count, self.rng.getstate(),
+        )
 
     def admit(self, pkt_bytes: float, state: QueueState) -> bool:
         return self.admit_values(
@@ -349,6 +366,9 @@ class CHOKeQueue(REDQueue):
         snap["choke_match_drops"] = float(self.match_drops)
         snap["choke_evictions"] = float(self.evictions)
         return snap
+
+    def state_digest(self) -> tuple:
+        return super().state_digest() + (self.match_drops, self.evictions)
 
     def admit_with_link(self, packet, state: QueueState, link) -> bool:
         self._update_average(state)

@@ -56,6 +56,20 @@ class TCPReceiver:
 
         node.register_agent(flow_id, self.receive)
 
+    def state_digest(self) -> tuple:
+        """The full receiver state (for checkpoint validation)."""
+        delack = self._delack_event
+        return (
+            self.cumack,
+            tuple(sorted(self._out_of_order)),
+            self._unacked_inorder,
+            self._pending_echo,
+            None if delack is None else
+            (delack.time, delack.seq, delack.cancelled),
+            self.segments_received, self.duplicate_segments,
+            self.acks_sent, self.bytes_received,
+        )
+
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Process one arriving data segment."""

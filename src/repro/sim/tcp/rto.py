@@ -76,3 +76,7 @@ class RTOEstimator:
     def backoff_multiplier(self) -> int:
         """Current exponential-backoff multiplier (1 when not backed off)."""
         return self._backoff
+
+    def state_digest(self) -> tuple:
+        """The full estimator state (for checkpoint validation)."""
+        return (self.srtt, self.rttvar, self._base_rto, self._backoff)

@@ -77,6 +77,13 @@ class Scoreboard:
         self._sacked.clear()
         self._retransmitted.clear()
 
+    def state_digest(self) -> tuple:
+        """The full scoreboard state (for checkpoint validation)."""
+        return (
+            tuple(sorted(self._sacked)),
+            tuple(sorted(self._retransmitted)),
+        )
+
     # ------------------------------------------------------------------
     def is_sacked(self, seq: int) -> bool:
         return seq in self._sacked

@@ -194,6 +194,30 @@ class TCPSender:
             "ssthresh": self.ssthresh,
         }
 
+    def state_digest(self) -> tuple:
+        """The full sender state (for checkpoint validation).
+
+        Covers the congestion/recovery machine, the RTO timer (as its
+        calendar coordinates, since event objects never compare equal
+        across deep copies), the per-flow RNG state, and every counter.
+        Two senders with equal digests behave identically from here on.
+        """
+        rto_event = self._rto_event
+        return (
+            self.cwnd, self.ssthresh, self.cumack, self.next_seq,
+            self.highest_sent, self.dupacks, self.in_fast_recovery,
+            self.recover,
+            tuple(self._send_times.items()),
+            self.rto_estimator.state_digest(),
+            None if rto_event is None else
+            (rto_event.time, rto_event.seq, rto_event.cancelled),
+            None if self.scoreboard is None else
+            self.scoreboard.state_digest(),
+            self._rng.getstate(),
+            self.segments_sent, self.retransmissions,
+            self.fast_retransmits, self.timeouts,
+        )
+
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------

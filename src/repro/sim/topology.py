@@ -432,6 +432,30 @@ class DumbbellNetwork:
     # ------------------------------------------------------------------
     # measurement helpers
     # ------------------------------------------------------------------
+    def state_digest(self) -> tuple:
+        """Fingerprint of the whole scenario's dynamic state.
+
+        Combines the engine calendar, every link and queue, every TCP
+        agent, the scenario RNG, and the process-global packet uid
+        stream.  Warm-start checkpointing asserts a forked network's
+        digest matches the original's -- equal digests mean the two
+        evolve identically from here.
+        """
+        links = [*self.sender_links, *self.sender_return_links,
+                 *self.receiver_links, *self.receiver_return_links,
+                 self.bottleneck, self.reverse_bottleneck,
+                 self.attacker_link, self.attack_sink_link]
+        return (
+            self.sim.state_digest(),
+            self.rng.getstate(),
+            Packet.peek_uid(),
+            tuple(link.state_digest() for link in links),
+            tuple(s.state_digest() for s in self.senders),
+            tuple(r.state_digest() for r in self.receivers),
+            self._next_attack_flow_id,
+            self._next_node_id,
+        )
+
     def flow_rtts(self) -> np.ndarray:
         """Propagation RTT of each flow, seconds (as configured)."""
         return self.config.flow_rtts()

@@ -266,6 +266,26 @@ class TestbedNetwork:
                 "attacker": self.attacker_link,
             }, senders=self.senders)
 
+    def state_digest(self) -> tuple:
+        """Fingerprint of the whole scenario's dynamic state.
+
+        Same contract as ``DumbbellNetwork.state_digest``: equal digests
+        mean two networks evolve identically from here on.
+        """
+        links = [*self.user_links, *self.user_return_links,
+                 self.pipe_link, self.pipe_return_link,
+                 self.victim_link, self.victim_return_link,
+                 self.attacker_link]
+        return (
+            self.sim.state_digest(),
+            self.rng.getstate(),
+            Packet.peek_uid(),
+            tuple(link.state_digest() for link in links),
+            tuple(s.state_digest() for s in self.senders),
+            tuple(r.state_digest() for r in self.receivers),
+            self._next_attack_flow_id,
+        )
+
     def flow_rtts(self) -> np.ndarray:
         """Nominal RTT of every flow (identical paths in the test-bed)."""
         return np.full(self.config.n_flows, self.config.rtt())

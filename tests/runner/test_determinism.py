@@ -56,6 +56,36 @@ class TestFig06Determinism:
         assert first.render() == second.render()
 
 
+class TestWarmStartDeterminism:
+    def test_gain_figure_identical_with_and_without_warm_start(self):
+        # The figure drivers funnel every measurement through the
+        # default runner; warm-start scheduling there must be invisible
+        # in the rendered output and in every per-point metric.
+        from repro.experiments.fig06_09_gain import run_gain_figure
+
+        kwargs = dict(flow_counts=[2], extents=[ms(100)], gammas=(0.4, 0.7))
+        previous = set_default_runner(None)
+        try:
+            warm_runner = ExperimentRunner(jobs=1, warm_start=True)
+            set_default_runner(warm_runner)
+            warm = run_gain_figure(6, **kwargs)
+            set_default_runner(ExperimentRunner(jobs=1, warm_start=False))
+            cold = run_gain_figure(6, **kwargs)
+        finally:
+            set_default_runner(previous)
+
+        assert warm_runner.stats.warm_starts > 0  # the fast path ran
+
+        for a, b in zip(warm.all_curves(), cold.all_curves()):
+            assert [p.measured_degradation for p in a.points] == [
+                p.measured_degradation for p in b.points
+            ]
+            assert [p.measured_gain for p in a.points] == [
+                p.measured_gain for p in b.points
+            ]
+        assert warm.render() == cold.render()
+
+
 class TestPacketTraceDeterminism:
     @staticmethod
     def _traced_run():

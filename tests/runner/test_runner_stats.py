@@ -52,21 +52,49 @@ class TestSnapshots:
 
     def test_delta_snapshot_excludes_work_before_mark(self):
         stats = make_stats(executed=2, cache=2)
+        stats.warm_starts = 4
+        stats.warmup_sims = 2
+        stats.warmup_seconds_saved = 24.0
         mark = stats.checkpoint()
         stats.record("y", "executed", 2.0)
         stats.record("z", "memo")
+        stats.warm_starts += 1
+        stats.warmup_sims += 1
+        stats.warmup_seconds_saved += 6.0
         delta = stats.delta_snapshot(mark)
         assert delta == {
             "cells": 2, "executed": 1, "cache_hits": 0, "memo_hits": 1,
             "hit_ratio": 0.5, "executed_seconds": pytest.approx(2.0),
+            "warm_starts": 1, "warmup_sims": 1,
+            "warmup_seconds_saved": pytest.approx(6.0),
         }
+
+    def test_delta_snapshot_accepts_pre_warm_start_marks(self):
+        # Run-log tooling may replay 4-tuple marks from older records;
+        # they baseline the warm-start counters at zero.
+        stats = make_stats(executed=1)
+        stats.warm_starts = 2
+        stats.warmup_seconds_saved = 12.0
+        delta = stats.delta_snapshot((0, 0, 0, 0.0))
+        assert delta["executed"] == 1
+        assert delta["warm_starts"] == 2
+        assert delta["warmup_seconds_saved"] == pytest.approx(12.0)
 
     def test_since_renders_delta_with_hit_ratio(self):
         stats = make_stats(executed=1, memo=3, seconds_each=0.2)
-        text = stats.since((0, 0, 0, 0.0))
+        text = stats.since(stats.__class__().checkpoint())
         assert text.startswith("cells: 4 (1 executed")
         assert "3 memo hits" in text
         assert "75% hit ratio" in text
+        assert "warm starts" not in text  # no warm starts -> no clause
+
+    def test_since_mentions_warm_starts_when_present(self):
+        stats = make_stats(executed=2)
+        stats.warm_starts = 3
+        stats.warmup_sims = 1
+        stats.warmup_seconds_saved = 18.0
+        text = stats.summary()
+        assert "3 warm starts saved 18s of simulated warm-up" in text
 
 
 class TestRunnerIntegration:

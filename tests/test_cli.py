@@ -40,6 +40,17 @@ class TestParser:
         assert args.jobs == 1
         assert not args.no_cache
         assert args.cache_dir is None
+        assert not args.no_warm_start
+
+    def test_no_warm_start_flag_disables_checkpointing(self):
+        from repro.cli import _make_runner
+
+        args = build_parser().parse_args(["fig06", "--no-warm-start",
+                                          "--no-cache"])
+        assert args.no_warm_start
+        assert _make_runner(args).warm_start is False
+        default = build_parser().parse_args(["fig06", "--no-cache"])
+        assert _make_runner(default).warm_start is True
 
     def test_metrics_flag_off_by_default(self):
         args = build_parser().parse_args(["fig04"])
