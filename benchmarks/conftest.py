@@ -11,10 +11,41 @@ suite finishes in minutes.  Set ``REPRO_FULL=1`` for paper-scale runs.
 """
 
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def best_of_reps(n, fn, *args, wall_of=None, **kwargs):
+    """Fastest of *n* runs of ``fn(*args, **kwargs)``.
+
+    Single runs jitter ~5-10% on shared boxes, so the trajectory
+    archives (and the gates that read them) compare minima, which
+    track machine capability.  Returns ``(result, best_wall,
+    rep_walls)`` where ``rep_walls`` holds every rep's wall time so
+    archived results can show the spread, and ``result`` is the return
+    value of the fastest rep.
+
+    *wall_of* extracts the wall time from ``fn``'s return value, for
+    functions that time themselves (excluding their own setup);
+    without it each call is timed externally.
+    """
+    results, walls = [], []
+    for _ in range(n):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        results.append(result)
+        walls.append(elapsed if wall_of is None else wall_of(result))
+    index = min(range(n), key=walls.__getitem__)
+    return results[index], walls[index], tuple(walls)
+
+
+def format_reps(rep_walls) -> str:
+    """Render per-rep wall times for an archived result line."""
+    return "reps: " + " / ".join(f"{wall:.2f}s" for wall in rep_walls)
 
 
 @pytest.fixture(autouse=True)

@@ -21,7 +21,7 @@ import re
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, run_once
+from benchmarks.conftest import RESULTS_DIR, format_reps, run_once
 from benchmarks.test_bench_sim_core import _run_sim_core, best_of
 from repro.obs import metrics
 
@@ -74,7 +74,9 @@ def test_bench_obs_overhead(benchmark, record_result):
         f"({100.0 * disabled_ratio:.1f}% of archived)\n"
         f"enabled events/sec  : {enabled['events_per_sec']:.0f} "
         f"({100.0 * enabled_ratio:.1f}% of disabled)\n"
-        f"peak calendar depth : {snapshot['engine.peak_calendar_depth']:.0f}"
+        f"peak calendar depth : {snapshot['engine.peak_calendar_depth']:.0f}\n"
+        f"disabled rep walls  : {format_reps(disabled['rep_walls'])}\n"
+        f"enabled rep walls   : {format_reps(enabled['rep_walls'])}"
     ))
 
     _write_run_log(disabled, enabled)

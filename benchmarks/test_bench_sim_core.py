@@ -14,7 +14,7 @@ Scale: 30 simulated seconds by default, 60 with ``REPRO_FULL=1``.
 import os
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import best_of_reps, format_reps, run_once
 from repro.core.attack import PulseTrain
 from repro.sim.topology import DumbbellConfig, build_dumbbell
 from repro.util.units import mbps, ms
@@ -61,11 +61,12 @@ def _run_sim_core():
 
 
 def best_of(n: int = 3, fn=_run_sim_core):
-    """Fastest of *n* runs -- single runs jitter ~5-10% on shared boxes,
-    so the trajectory archives (and the obs-overhead 5% gate that reads
-    them) compare minima, which track machine capability."""
-    runs = [fn() for _ in range(n)]
-    return min(runs, key=lambda stats: stats["wall"])
+    """Fastest of *n* runs, with every rep's wall time attached."""
+    stats, _, rep_walls = best_of_reps(
+        n, fn, wall_of=lambda run: run["wall"])
+    stats = dict(stats)
+    stats["rep_walls"] = rep_walls
+    return stats
 
 
 def test_bench_sim_core(benchmark, record_result):
@@ -78,7 +79,8 @@ def test_bench_sim_core(benchmark, record_result):
         f"events/sec      : {stats['events_per_sec']:.0f}\n"
         f"goodput_bytes   : {stats['goodput_bytes']:.0f}\n"
         f"bottleneck pkts : {stats['bottleneck_packets']}\n"
-        f"attack pkts     : {stats['attack_packets']}"
+        f"attack pkts     : {stats['attack_packets']}\n"
+        f"per-rep walls   : {format_reps(stats['rep_walls'])}"
     ))
 
     # The scenario must be busy enough to be a meaningful measurement.

@@ -15,7 +15,7 @@ subsystem's two contracts:
 
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import best_of_reps, format_reps, run_once
 from repro.core.attack import PulseTrain
 from repro.runner import Cell, ExperimentRunner, PlatformSpec
 from repro.util.units import mbps, ms
@@ -43,18 +43,21 @@ def _panel():
 
 def _best_of(warm_start):
     """Best wall time over BEST_OF fresh-runner executions."""
-    best_wall, results = float("inf"), None
-    for _ in range(BEST_OF):
+
+    def _run():
         runner = ExperimentRunner(jobs=1, warm_start=warm_start)
         started = time.perf_counter()
         results = runner.measure_many(_panel())
-        best_wall = min(best_wall, time.perf_counter() - started)
-    return results, best_wall
+        return results, time.perf_counter() - started
+
+    (results, _), best_wall, rep_walls = best_of_reps(
+        BEST_OF, _run, wall_of=lambda run: run[1])
+    return results, best_wall, rep_walls
 
 
 def test_warm_start_speedup(benchmark, record_result):
-    cold_results, cold_wall = _best_of(warm_start=False)
-    warm_results, warm_wall = run_once(benchmark, _best_of, True)
+    cold_results, cold_wall, cold_reps = _best_of(warm_start=False)
+    warm_results, warm_wall, warm_reps = run_once(benchmark, _best_of, True)
 
     speedup = cold_wall / max(warm_wall, 1e-9)
     cells = len(_panel())
@@ -63,8 +66,9 @@ def test_warm_start_speedup(benchmark, record_result):
         f"({cells} cells, 15 flows, {WARMUP:.0f}s warm-up / "
         f"{WINDOW:.0f}s window), best of {BEST_OF}, jobs=1",
         f"{'mode':<16} {'wall':>8}",
-        f"{'from scratch':<16} {cold_wall:>7.2f}s",
-        f"{'warm-start':<16} {warm_wall:>7.2f}s ({speedup:.2f}x)",
+        f"{'from scratch':<16} {cold_wall:>7.2f}s  ({format_reps(cold_reps)})",
+        f"{'warm-start':<16} {warm_wall:>7.2f}s ({speedup:.2f}x)  "
+        f"({format_reps(warm_reps)})",
     ]
     record_result("warm_start", "\n".join(rows))
 

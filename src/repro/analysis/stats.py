@@ -1,21 +1,28 @@
-"""Throughput statistics: fairness and per-flow damage summaries.
+"""Throughput statistics: fairness, damage summaries, and CI stopping.
 
 Support for the per-flow analyses around Section 4.1.3 ("some TCP flows
 may survive these timeout-based attacks because of their large RTTs"):
 Jain's fairness index over per-flow goodputs, and per-flow degradation
 summaries keyed by RTT.
+
+Also home to the confidence-interval helpers the adaptive experiment
+planner (:mod:`repro.runner.planner`) uses for sequential seed
+allocation: :func:`mean_ci_halfwidth` for a t-based CI over replicate
+measurements, and :func:`ci_stable` as the stop-adding-seeds predicate.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.util.errors import ValidationError
 
-__all__ = ["jain_fairness_index", "FlowDamage", "per_flow_damage"]
+__all__ = ["jain_fairness_index", "FlowDamage", "per_flow_damage",
+           "mean_ci_halfwidth", "ci_stable"]
 
 
 def jain_fairness_index(allocations: Sequence[float]) -> float:
@@ -71,3 +78,49 @@ def per_flow_damage(rtts: Sequence[float], baseline: Sequence[float],
                    attacked_bytes=float(a))
         for rtt, b, a in zip(rtts, baseline, attacked)
     ]
+
+
+# ----------------------------------------------------------------------
+# sequential-replication confidence intervals
+# ----------------------------------------------------------------------
+def mean_ci_halfwidth(samples: Sequence[float],
+                      confidence: float = 0.95) -> float:
+    """Half-width of the t-based CI for the mean of *samples*.
+
+    A single sample has no variance estimate, so its half-width is
+    ``inf`` -- a sequential scheme can never stop on one replicate by
+    accident.  Identical samples give 0.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    values = np.asarray(samples, dtype=float)
+    if values.size == 0:
+        raise ValidationError("need at least one sample")
+    if values.size < 2:
+        return math.inf
+    from scipy import stats
+
+    critical = stats.t.ppf(0.5 + confidence / 2.0, df=values.size - 1)
+    return float(critical * values.std(ddof=1) / math.sqrt(values.size))
+
+
+def ci_stable(samples: Sequence[float], *, rel_tol: float,
+              confidence: float = 0.95, scale_floor: float = 0.0) -> bool:
+    """Is the mean estimate precise enough to stop adding replicates?
+
+    Stable when the CI half-width is at most ``rel_tol`` times the
+    estimate's scale, ``max(|mean|, scale_floor)``.  The floor keeps the
+    criterion meaningful for near-zero means (e.g. the gain of a weak
+    attack), where a purely relative tolerance would demand absurd
+    precision.
+    """
+    if rel_tol <= 0.0:
+        raise ValidationError(f"rel_tol must be > 0, got {rel_tol}")
+    halfwidth = mean_ci_halfwidth(samples, confidence)
+    if math.isinf(halfwidth):
+        return False
+    scale = max(abs(float(np.mean(np.asarray(samples, dtype=float)))),
+                scale_floor)
+    return halfwidth <= rel_tol * scale

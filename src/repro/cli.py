@@ -11,8 +11,11 @@ Examples::
     python -m repro.cli all -o results/
 
 ``--full`` sets ``REPRO_FULL=1`` for the invocation (paper-scale
-sweeps); ``-o DIR`` additionally writes each rendering to
-``DIR/<name>.txt``.
+sweeps); ``--fast`` sets ``REPRO_FAST=1``, routing gain sweeps through
+the adaptive experiment planner (coarse-to-fine γ refinement, CI-driven
+seed allocation, convergence early-exit -- approximate but several times
+faster, under distinct cache keys); ``-o DIR`` additionally writes each
+rendering to ``DIR/<name>.txt``.
 
 ``--jobs N`` fans independent measurement cells out over N worker
 processes (one persistent pool per invocation); ``--cache-dir DIR`` /
@@ -212,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale sweeps (sets REPRO_FULL=1; much slower)",
     )
     parser.add_argument(
+        "--fast", action="store_true",
+        help="adaptive experiment planner for gain sweeps (sets "
+             "REPRO_FAST=1): coarse-to-fine gamma refinement around the "
+             "peak, CI-driven seed allocation, and in-sim convergence "
+             "early-exit; approximate results under distinct cache keys",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run each experiment under cProfile and print wall time, "
              "simulator events/sec, and the hottest functions (results "
@@ -281,7 +291,11 @@ def _configure_logging(*, verbose: bool = False, quiet: bool = False) -> None:
 
 
 def _make_runner(args):  # deferred import keeps `--help` fast
-    from repro.runner import ExperimentRunner, default_cache_dir
+    from repro.runner import ExperimentRunner, check_jobs, default_cache_dir
+    # Validated here rather than via an argparse type callable:
+    # ValidationError is a ValueError, which argparse would swallow into
+    # a bare exit-2 usage message instead of naming flag and value.
+    check_jobs(args.jobs, source="--jobs")
     if args.no_cache:
         cache_dir = None
     elif args.cache_dir is not None:
@@ -372,6 +386,8 @@ def main(argv=None) -> int:
         return 0
     if args.full:
         os.environ["REPRO_FULL"] = "1"
+    if args.fast:
+        os.environ["REPRO_FAST"] = "1"
     from repro.runner import set_default_runner
     runner = _make_runner(args)
     set_default_runner(runner)

@@ -45,6 +45,7 @@ __all__ = [
     "GainPoint",
     "GainCurve",
     "GainSweepPlan",
+    "build_classified_curve",
     "plan_gain_sweep",
     "run_gain_sweep",
     "run_gain_sweeps",
@@ -304,36 +305,66 @@ class GainSweepPlan:
                     degradation_measured * (1.0 - gamma) ** self.kappa
                 ),
                 measured_degradation=degradation_measured,
-                is_shrew=False,  # filled below once all periods are known
+                is_shrew=False,  # filled in by build_classified_curve
             ))
-
-        shrew: List[ShrewPoint] = flag_shrew_points(
-            [p.period for p in points], self.min_rto,
-        )
-        shrew_indices = {sp.index for sp in shrew}
-        points = [
-            dataclasses.replace(point, is_shrew=(index in shrew_indices))
-            for index, point in enumerate(points)
-        ]
-
-        valid = [p for p in points if p.gamma > self.c_psi]
-        if self.exclude_shrew:
-            kept = [p for p in valid if not p.is_shrew] or valid or points
-        else:
-            kept = valid or points
-        comparison = classify_gain(
-            [p.measured_gain for p in kept],
-            [p.analytic_gain for p in kept],
-        )
-        return GainCurve(
+        return build_classified_curve(
+            points,
             label=self.label,
             rate_bps=self.rate_bps,
             extent=self.extent,
             kappa=self.kappa,
             c_psi=self.c_psi,
-            points=points,
-            comparison=comparison,
+            min_rto=self.min_rto,
+            exclude_shrew=self.exclude_shrew,
         )
+
+
+def build_classified_curve(
+    points: Sequence[GainPoint],
+    *,
+    label: str,
+    rate_bps: float,
+    extent: float,
+    kappa: float,
+    c_psi: float,
+    min_rto: float,
+    exclude_shrew: bool = True,
+) -> GainCurve:
+    """Flag shrew points and classify a swept curve (§4.1.1-4.1.3).
+
+    The shared back half of every sweep: exact dense sweeps
+    (:meth:`GainSweepPlan.assemble`) and adaptive planner sweeps
+    (:func:`repro.runner.planner.run_planned_sweep`) both feed their
+    measured points through this, so classification and shrew handling
+    can never drift between the two paths.
+    """
+    shrew: List[ShrewPoint] = flag_shrew_points(
+        [p.period for p in points], min_rto,
+    )
+    shrew_indices = {sp.index for sp in shrew}
+    points = [
+        dataclasses.replace(point, is_shrew=(index in shrew_indices))
+        for index, point in enumerate(points)
+    ]
+
+    valid = [p for p in points if p.gamma > c_psi]
+    if exclude_shrew:
+        kept = [p for p in valid if not p.is_shrew] or valid or points
+    else:
+        kept = valid or points
+    comparison = classify_gain(
+        [p.measured_gain for p in kept],
+        [p.analytic_gain for p in kept],
+    )
+    return GainCurve(
+        label=label,
+        rate_bps=rate_bps,
+        extent=extent,
+        kappa=kappa,
+        c_psi=c_psi,
+        points=points,
+        comparison=comparison,
+    )
 
 
 def plan_gain_sweep(

@@ -49,6 +49,14 @@ class _Row:
         self.warm_starts = _runner_field(record, "warm_starts")
         self.warmup_seconds_saved = _runner_field(
             record, "warmup_seconds_saved")
+        self.planner_rounds = _runner_field(record, "planner_rounds")
+        self.planner_cells_saved = _runner_field(
+            record, "planner_cells_saved")
+        self.planner_seeds_saved = _runner_field(
+            record, "planner_seeds_saved")
+        self.truncated_cells = _runner_field(record, "truncated_cells")
+        self.truncated_sim_seconds = _runner_field(
+            record, "truncated_sim_seconds")
         self.events = _metric(record, "engine.events_dispatched")
         wall = _metric(record, "engine.wall_seconds")
         self.events_per_sec = (
@@ -131,6 +139,25 @@ def summarize_records(records: Iterable[dict]) -> str:
         footer += (
             f"; {total_warm:.0f} warm starts saved {total_saved:.0f}s "
             "of simulated warm-up"
+        )
+
+    def _total(field: str) -> float:
+        return sum(value for r in rows
+                   if (value := getattr(r, field)) is not None)
+
+    planner_cells = _total("planner_cells_saved")
+    planner_seeds = _total("planner_seeds_saved")
+    if planner_cells or planner_seeds or _total("planner_rounds"):
+        footer += (
+            f"; planner: {_total('planner_rounds'):.0f} refinement "
+            f"rounds saved {planner_cells:.0f} grid cells + "
+            f"{planner_seeds:.0f} seeds"
+        )
+    truncated = _total("truncated_cells")
+    if truncated:
+        footer += (
+            f"; {truncated:.0f} early exits truncated "
+            f"{_total('truncated_sim_seconds'):.0f}s of simulation"
         )
     lines.append(footer)
     return "\n".join(lines)

@@ -34,12 +34,23 @@ from repro.runner.cells import (
     PlatformSpec,
     execute_cell,
     execute_cell_group,
+    goodput_rate,
+    measured_seconds,
     warmup_key,
+)
+from repro.runner.planner import (
+    PlannedPoint,
+    PlannedSweep,
+    PlannerPolicy,
+    active_policy,
+    fast_mode,
+    run_planned_sweep,
 )
 from repro.runner.runner import (
     CellTiming,
     ExperimentRunner,
     RunnerStats,
+    check_jobs,
     get_default_runner,
     set_default_runner,
 )
@@ -51,15 +62,24 @@ __all__ = [
     "DeploymentSpec",
     "ExperimentRunner",
     "GroupResult",
+    "PlannedPoint",
+    "PlannedSweep",
+    "PlannerPolicy",
     "PlatformSpec",
     "ResultCache",
     "RunnerStats",
+    "active_policy",
     "cell_key",
+    "check_jobs",
     "code_version",
     "default_cache_dir",
     "execute_cell",
     "execute_cell_group",
+    "fast_mode",
     "get_default_runner",
+    "goodput_rate",
+    "measured_seconds",
+    "run_planned_sweep",
     "set_default_runner",
     "warmup_key",
 ]

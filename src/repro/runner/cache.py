@@ -93,9 +93,11 @@ class ResultCache:
         try:
             payload = json.loads(self._path(key).read_text())
             flagged = payload["flagged_sources"]
+            converged = payload.get("converged_at")
             return CellResult(
                 goodput_bytes=float(payload["goodput_bytes"]),
                 flagged_sources=None if flagged is None else int(flagged),
+                converged_at=None if converged is None else float(converged),
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None
@@ -108,6 +110,7 @@ class ResultCache:
         payload = {
             "goodput_bytes": result.goodput_bytes,
             "flagged_sources": result.flagged_sources,
+            "converged_at": result.converged_at,
         }
         if meta:
             payload["meta"] = meta

@@ -27,6 +27,7 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.attack import PulseTrain
+from repro.sim.convergence import ConvergenceConfig, GoodputConvergenceMonitor
 from repro.sim.tcp import TCPConfig
 from repro.sim.topology import QUEUE_FACTORIES, DumbbellConfig, build_dumbbell
 from repro.testbed.dummynet import TestbedConfig, build_testbed
@@ -35,7 +36,7 @@ from repro.util.validate import check_non_negative, check_positive
 
 __all__ = ["PlatformSpec", "DeploymentSpec", "Cell", "CellResult",
            "GroupResult", "execute_cell", "execute_cell_group",
-           "warmup_key"]
+           "goodput_rate", "measured_seconds", "warmup_key"]
 
 
 def _tcp_payload(tcp: Optional[TCPConfig]) -> Optional[dict]:
@@ -182,6 +183,11 @@ class Cell:
             this rate floor observes the bottleneck and the result
             reports how many attack sources it flagged (dumbbell only;
             the detector is passive, so goodput is unaffected).
+        early_exit: when set, a convergence monitor may end the window
+            early once the goodput rate estimate stabilizes (the result
+            then carries ``converged_at``).  Early-exit cells serialize
+            the config into their identity, so they can never share a
+            cache entry with an exact full-window cell.
     """
 
     platform: PlatformSpec
@@ -190,6 +196,7 @@ class Cell:
     train: Optional[PulseTrain] = None
     deployment: Optional[DeploymentSpec] = None
     rate_floor_bps: Optional[float] = None
+    early_exit: Optional[ConvergenceConfig] = None
 
     def __post_init__(self) -> None:
         check_non_negative("warmup", self.warmup)
@@ -210,7 +217,7 @@ class Cell:
 
     def describe(self) -> dict:
         """A JSON-serializable identity (feeds the cache key)."""
-        return {
+        payload = {
             "platform": self.platform.describe(),
             "warmup": self.warmup,
             "window": self.window,
@@ -220,6 +227,11 @@ class Cell:
             ),
             "rate_floor_bps": self.rate_floor_bps,
         }
+        # Conditional so exact cells keep their historical identity (and
+        # cache keys) byte for byte; early-exit cells hash differently.
+        if self.early_exit is not None:
+            payload["early_exit"] = self.early_exit.describe()
+        return payload
 
 
 @dataclasses.dataclass(frozen=True)
@@ -230,10 +242,33 @@ class CellResult:
         goodput_bytes: payload bytes delivered in the window.
         flagged_sources: attack sources the conformance detector
             flagged, or ``None`` when no detector was requested.
+        converged_at: simulation time at which a convergence early-exit
+            ended the window, or ``None`` for a full-horizon run.  When
+            set, ``goodput_bytes`` covers only
+            ``[warmup, converged_at]`` -- compare via
+            :func:`goodput_rate`, never raw bytes.
     """
 
     goodput_bytes: float
     flagged_sources: Optional[int] = None
+    converged_at: Optional[float] = None
+
+
+def measured_seconds(cell: Cell, result: CellResult) -> float:
+    """How much of the window *result* actually covers, in seconds."""
+    if result.converged_at is not None:
+        return result.converged_at - cell.warmup
+    return cell.window
+
+
+def goodput_rate(cell: Cell, result: CellResult) -> float:
+    """Goodput normalized to bytes/second over the measured span.
+
+    For full-horizon results this is ``goodput_bytes / window``; for
+    early-exited results the divisor is the truncated span, so exact and
+    fast measurements of the same scenario are comparable.
+    """
+    return result.goodput_bytes / measured_seconds(cell, result)
 
 
 def warmup_key(cell: Cell) -> str:
@@ -289,6 +324,13 @@ def _measure_warmed(net, detector, cell: Cell) -> CellResult:
         source.start()
         attack_flow_ids = [source.flow_id]
 
+    monitor = None
+    if cell.early_exit is not None:
+        monitor = GoodputConvergenceMonitor(
+            net.sim, net.aggregate_goodput_bytes, cell.early_exit,
+        )
+        monitor.arm(start=cell.warmup, horizon=cell.warmup + cell.window)
+
     net.run(until=cell.warmup + cell.window)
     goodput = net.aggregate_goodput_bytes() - before
 
@@ -297,7 +339,11 @@ def _measure_warmed(net, detector, cell: Cell) -> CellResult:
         flagged = sum(
             1 for flow_id in attack_flow_ids if detector.is_flagged(flow_id)
         )
-    return CellResult(goodput_bytes=goodput, flagged_sources=flagged)
+    return CellResult(
+        goodput_bytes=goodput,
+        flagged_sources=flagged,
+        converged_at=monitor.converged_at if monitor is not None else None,
+    )
 
 
 def execute_cell(cell: Cell) -> CellResult:

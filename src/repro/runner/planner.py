@@ -1,0 +1,444 @@
+"""Adaptive experiment planner: coarse-to-fine γ search with CI stopping.
+
+The gain figures only need ``G(γ) = Γ·(1−γ)^κ`` resolved accurately
+near its peak γ* (Propositions 2-4), yet a dense fixed grid spends the
+same budget on every γ.  :func:`run_planned_sweep` replaces the dense
+grid with three stacked economies, all layered on the existing
+:class:`~repro.runner.runner.ExperimentRunner` (so memoization, disk
+caching, warm-start forking, and parallel fan-out keep working):
+
+* **Coarse-to-fine refinement** -- simulate a coarse γ grid, then
+  recursively subdivide only the bracket around the empirical peak
+  until γ* is localized to :attr:`PlannerPolicy.gamma_resolution`.
+* **Sequential seed allocation** -- each γ starts at
+  :attr:`PlannerPolicy.min_seeds` replicas and gains more only while
+  the gain estimate's t-based CI half-width
+  (:func:`repro.analysis.stats.ci_stable`) exceeds the tolerance; the
+  peak is always confirmed with enough replicas for a finite CI.
+  Replicas differ only in platform seed, so they share their per-seed
+  warm-up group with the runner's warm-start scheduler.
+* **In-sim convergence early-exit** -- every planner cell carries the
+  policy's :class:`~repro.sim.convergence.ConvergenceConfig`, so a
+  simulation ends as soon as its windowed goodput rate stabilizes and
+  measurements are compared as *rates* over the truncated span.
+
+Everything here is strictly opt-in: the fast path activates only
+through an explicit :class:`PlannerPolicy`, the ``--fast`` CLI flag, or
+``REPRO_FAST=1`` (:func:`active_policy`).  Planner cells serialize
+their early-exit config into the cache key, so fast and exact results
+never mix, and with the planner disabled no code path here runs at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import ci_stable, mean_ci_halfwidth
+from repro.core.attack import PulseTrain
+from repro.core.gain import attack_gain
+from repro.core.throughput import c_psi
+from repro.runner.cells import Cell, goodput_rate
+from repro.runner.runner import ExperimentRunner, get_default_runner
+from repro.sim.convergence import ConvergenceConfig
+from repro.util.errors import ValidationError
+from repro.util.validate import check_positive
+
+__all__ = ["PlannerPolicy", "PlannedPoint", "PlannedSweep",
+           "run_planned_sweep", "fast_mode", "active_policy",
+           "FAST_POLICY"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannerPolicy:
+    """How aggressively the planner trades coverage for speed.
+
+    Attributes:
+        coarse_points: γ samples in the initial grid (>= 3, so the peak
+            always has a refinable bracket).
+        refine_points: new γ samples inserted into the peak bracket per
+            refinement round.
+        max_rounds: refinement rounds after the coarse pass.
+        gamma_resolution: stop refining once the peak's bracket
+            neighbors are within this distance.
+        min_seeds: replicas every sampled γ starts with.
+        max_seeds: replica budget per γ (sequential allocation stops
+            here regardless of CI width).
+        ci_rel_tol: stop adding replicas once the gain CI half-width is
+            below this fraction of the estimate's scale.
+        confidence: CI confidence level.
+        gain_floor: scale floor for the relative CI criterion (gains
+            near zero would otherwise demand absurd precision).
+        confirm_peak_seeds: minimum replicas at the final peak γ, so
+            the reported peak always carries a finite CI.
+        early_exit: convergence early-exit config stamped on every
+            planner cell, or ``None`` to always run full windows.
+    """
+
+    coarse_points: int = 5
+    refine_points: int = 2
+    max_rounds: int = 3
+    gamma_resolution: float = 0.05
+    min_seeds: int = 1
+    max_seeds: int = 3
+    ci_rel_tol: float = 0.15
+    confidence: float = 0.95
+    gain_floor: float = 0.1
+    confirm_peak_seeds: int = 2
+    early_exit: Optional[ConvergenceConfig] = ConvergenceConfig()
+
+    def __post_init__(self) -> None:
+        if self.coarse_points < 3:
+            raise ValidationError(
+                f"coarse_points must be >= 3, got {self.coarse_points}"
+            )
+        if self.refine_points < 1:
+            raise ValidationError(
+                f"refine_points must be >= 1, got {self.refine_points}"
+            )
+        if self.max_rounds < 0:
+            raise ValidationError(
+                f"max_rounds must be >= 0, got {self.max_rounds}"
+            )
+        check_positive("gamma_resolution", self.gamma_resolution)
+        if self.min_seeds < 1:
+            raise ValidationError(
+                f"min_seeds must be >= 1, got {self.min_seeds}"
+            )
+        if self.max_seeds < self.min_seeds:
+            raise ValidationError(
+                f"max_seeds ({self.max_seeds}) must be >= min_seeds "
+                f"({self.min_seeds})"
+            )
+        if self.confirm_peak_seeds < 1:
+            raise ValidationError(
+                f"confirm_peak_seeds must be >= 1, got "
+                f"{self.confirm_peak_seeds}"
+            )
+        check_positive("ci_rel_tol", self.ci_rel_tol)
+        if not 0.0 < self.confidence < 1.0:
+            raise ValidationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.gain_floor < 0.0:
+            raise ValidationError(
+                f"gain_floor must be >= 0, got {self.gain_floor}"
+            )
+
+
+#: The policy ``--fast`` / ``REPRO_FAST=1`` selects.
+FAST_POLICY = PlannerPolicy()
+
+
+def fast_mode() -> bool:
+    """True when ``REPRO_FAST=1``: figure drivers use the planner."""
+    value = os.environ.get("REPRO_FAST", "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
+def active_policy() -> Optional[PlannerPolicy]:
+    """The environment-selected policy: :data:`FAST_POLICY` or ``None``.
+
+    Figure drivers call this when no explicit policy is passed, so the
+    planner stays invisible unless the user opted in.
+    """
+    return FAST_POLICY if fast_mode() else None
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedPoint:
+    """One γ the planner sampled, with its replication economics."""
+
+    gamma: float
+    mean_gain: float
+    mean_degradation: float
+    ci_halfwidth: float
+    n_seeds: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedSweep:
+    """What an adaptive sweep resolved, plus what it saved.
+
+    Attributes:
+        curve: the classified gain curve over every sampled γ,
+            structurally identical to an exact sweep's
+            :class:`~repro.experiments.base.GainCurve`.
+        gamma_star: the empirical peak γ.
+        gain_at_peak / ci_at_peak / seeds_at_peak: the peak's gain
+            estimate, its CI half-width, and how many replicas back it.
+        rounds: refinement rounds actually run.
+        gammas_sampled: distinct γ simulated.
+        cells_saved: γ samples a dense grid at
+            :attr:`PlannerPolicy.gamma_resolution` would have needed but
+            the planner skipped.
+        seeds_saved: replica budget left unspent by CI stopping.
+        points: per-γ replication detail.
+    """
+
+    curve: Any
+    gamma_star: float
+    gain_at_peak: float
+    ci_at_peak: float
+    seeds_at_peak: int
+    rounds: int
+    gammas_sampled: int
+    cells_saved: int
+    seeds_saved: int
+    points: Tuple[PlannedPoint, ...]
+
+    def summary(self) -> str:
+        ci = "n/a" if math.isinf(self.ci_at_peak) else f"{self.ci_at_peak:.3f}"
+        return (
+            f"planner[{self.curve.label}]: gamma*={self.gamma_star:.3f} "
+            f"G={self.gain_at_peak:.3f} (CI +-{ci}, "
+            f"{self.seeds_at_peak} seeds); {self.rounds} refinement rounds, "
+            f"{self.gammas_sampled} gammas sampled, {self.cells_saved} grid "
+            f"cells + {self.seeds_saved} seeds saved"
+        )
+
+
+def run_planned_sweep(
+    platform,
+    *,
+    rate_bps: float,
+    extent: float,
+    gammas: Optional[Sequence[float]] = None,
+    kappa: float = 1.0,
+    warmup: Optional[float] = None,
+    window: Optional[float] = None,
+    label: str = "",
+    policy: Optional[PlannerPolicy] = None,
+    runner: Optional[ExperimentRunner] = None,
+    exclude_shrew_from_classification: bool = True,
+) -> PlannedSweep:
+    """Adaptively resolve one gain curve on *platform*.
+
+    The drop-in fast counterpart of
+    :func:`repro.experiments.base.run_gain_sweep`: same platform
+    abstraction, same Eq.-(4) period inversion per γ, same paired
+    same-seed baseline -- but the γ grid grows toward the empirical
+    peak, replicas are allocated by CI width, and every cell may end
+    its window at convergence.  Measurements are therefore compared as
+    goodput *rates* (:func:`repro.runner.cells.goodput_rate`).
+
+    *gammas* overrides the coarse grid (>= 3 ascending values);
+    refinement still operates inside its span.
+    """
+    # Imported late: experiments.base imports repro.runner at module
+    # load, so a top-level import here would be circular.
+    from repro.experiments.base import build_classified_curve, full_scale
+
+    policy = policy if policy is not None else PlannerPolicy()
+    runner = runner if runner is not None else get_default_runner()
+    check_positive("rate_bps", rate_bps)
+    check_positive("extent", extent)
+    if warmup is None:
+        warmup = 10.0 if full_scale() else 6.0
+    if window is None:
+        window = 50.0 if full_scale() else 20.0
+
+    bottleneck = platform.bottleneck_bps
+    c_psi_value = c_psi(
+        platform.victim_population(), extent=extent, rate_bps=rate_bps,
+        bottleneck_bps=bottleneck,
+    )
+    c_attack = rate_bps / bottleneck
+    if gammas is None:
+        grid = np.linspace(0.1, min(0.9, c_attack), policy.coarse_points)
+    else:
+        grid = np.asarray(sorted(float(g) for g in gammas), dtype=float)
+        if grid.size < 3:
+            raise ValidationError(
+                f"the planner needs >= 3 coarse gammas, got {grid.size}"
+            )
+        if grid[-1] > c_attack + 1e-12:
+            raise ValidationError(
+                f"gamma {grid[-1]} exceeds C_attack={c_attack:.3f}"
+            )
+    lo, hi = float(grid[0]), float(grid[-1])
+
+    base_spec = platform.spec()
+    base_seed = base_spec.seed
+
+    def _train(gamma: float) -> PulseTrain:
+        period = PulseTrain.period_from_gamma(
+            gamma=gamma, rate_bps=rate_bps, extent=extent,
+            bottleneck_bps=bottleneck,
+        )
+        return PulseTrain.from_gamma(
+            gamma=gamma, rate_bps=rate_bps, extent=extent,
+            bottleneck_bps=bottleneck,
+            n_pulses=int(math.ceil(window / period)) + 2,
+        )
+
+    def _cell(gamma: Optional[float], seed_index: int) -> Cell:
+        spec = dataclasses.replace(base_spec, seed=base_seed + seed_index)
+        return Cell(
+            platform=spec, warmup=warmup, window=window,
+            train=None if gamma is None else _train(gamma),
+            early_exit=policy.early_exit,
+        )
+
+    # γ -> per-replica samples, in seed order; seed_index -> baseline rate.
+    gains: Dict[float, List[float]] = {}
+    degradations: Dict[float, List[float]] = {}
+    baseline_rates: Dict[int, float] = {}
+
+    def _measure(requests: Sequence[Tuple[float, int]]) -> None:
+        """Resolve (γ, seed_index) measurements in one runner batch."""
+        cells: List[Cell] = []
+        slots: List[Tuple[str, Any]] = []
+        for idx in sorted({i for _g, i in requests
+                           if i not in baseline_rates}):
+            cells.append(_cell(None, idx))
+            slots.append(("baseline", idx))
+        for gamma, idx in requests:
+            cells.append(_cell(gamma, idx))
+            slots.append(("attack", (gamma, idx)))
+        results = runner.measure_many(cells)
+        for (kind, ref), cell, result in zip(slots, cells, results):
+            if kind != "baseline":
+                continue
+            rate = goodput_rate(cell, result)
+            if rate <= 0:
+                raise ValidationError(
+                    "baseline goodput is zero; the measurement window "
+                    "is too short"
+                )
+            baseline_rates[ref] = rate
+        for (kind, ref), cell, result in zip(slots, cells, results):
+            if kind != "attack":
+                continue
+            gamma, idx = ref
+            degradation = 1.0 - goodput_rate(cell, result) / baseline_rates[idx]
+            degradations.setdefault(gamma, []).append(degradation)
+            gains.setdefault(gamma, []).append(
+                degradation * (1.0 - gamma) ** kappa
+            )
+
+    def _needs_more(gamma: float) -> bool:
+        samples = gains.get(gamma, ())
+        if len(samples) < policy.min_seeds:
+            return True
+        if len(samples) >= policy.max_seeds or len(samples) < 2:
+            # One replica carries no variance estimate; escalation past
+            # a single seed is the peak-confirmation stage's call.
+            return False
+        return not ci_stable(
+            samples, rel_tol=policy.ci_rel_tol,
+            confidence=policy.confidence, scale_floor=policy.gain_floor,
+        )
+
+    def _settle(active: Sequence[float]) -> None:
+        """Add one replica per still-unstable γ until all settle."""
+        while True:
+            requests = [(g, len(gains.get(g, ())))
+                        for g in active if _needs_more(g)]
+            if not requests:
+                return
+            _measure(requests)
+
+    def _mean_gain(gamma: float) -> float:
+        return float(np.mean(gains[gamma]))
+
+    _settle([float(g) for g in grid])
+
+    rounds = 0
+    while rounds < policy.max_rounds:
+        sampled = sorted(gains)
+        peak_index = max(range(len(sampled)),
+                         key=lambda i: _mean_gain(sampled[i]))
+        left = sampled[max(peak_index - 1, 0)]
+        right = sampled[min(peak_index + 1, len(sampled) - 1)]
+        peak = sampled[peak_index]
+        if max(peak - left, right - peak) <= policy.gamma_resolution:
+            break
+        interior = np.linspace(left, right, policy.refine_points + 2)[1:-1]
+        fresh = [
+            float(g) for g in interior
+            if min(abs(g - s) for s in sampled) > policy.gamma_resolution / 4
+        ]
+        if not fresh:
+            break
+        rounds += 1
+        _settle(fresh)
+
+    # Confirm the peak with enough replicas for a finite, stable CI (the
+    # argmax can move as replicas refine the estimates, so re-check).
+    confirm = min(max(policy.confirm_peak_seeds, policy.min_seeds),
+                  policy.max_seeds)
+    while True:
+        sampled = sorted(gains)
+        peak = max(sampled, key=_mean_gain)
+        n = len(gains[peak])
+        if n < confirm or (n < policy.max_seeds and not ci_stable(
+            gains[peak], rel_tol=policy.ci_rel_tol,
+            confidence=policy.confidence, scale_floor=policy.gain_floor,
+        )):
+            _measure([(peak, n)])
+            continue
+        break
+
+    sampled = sorted(gains)
+    dense_cells = int(math.floor((hi - lo) / policy.gamma_resolution
+                                 + 1e-9)) + 1
+    cells_saved = max(0, dense_cells - len(sampled))
+    seeds_saved = sum(policy.max_seeds - len(v) for v in gains.values())
+    stats = runner.stats
+    stats.planner_rounds += rounds
+    stats.planner_cells_saved += cells_saved
+    stats.planner_seeds_saved += seeds_saved
+
+    from repro.experiments.base import GainPoint
+
+    curve_points = [
+        GainPoint(
+            gamma=g,
+            period=_train(g).period,
+            analytic_gain=attack_gain(g, c_psi_value, kappa),
+            measured_gain=_mean_gain(g),
+            measured_degradation=float(np.mean(degradations[g])),
+            is_shrew=False,
+        )
+        for g in sampled
+    ]
+    curve = build_classified_curve(
+        curve_points,
+        label=(label or f"R={rate_bps / 1e6:.0f}M "
+                        f"T_extent={extent * 1e3:.0f}ms [fast]"),
+        rate_bps=rate_bps,
+        extent=extent,
+        kappa=kappa,
+        c_psi=c_psi_value,
+        min_rto=platform.min_rto,
+        exclude_shrew=exclude_shrew_from_classification,
+    )
+
+    planned_points = tuple(
+        PlannedPoint(
+            gamma=g,
+            mean_gain=_mean_gain(g),
+            mean_degradation=float(np.mean(degradations[g])),
+            ci_halfwidth=mean_ci_halfwidth(gains[g], policy.confidence),
+            n_seeds=len(gains[g]),
+        )
+        for g in sampled
+    )
+    peak = max(sampled, key=_mean_gain)
+    return PlannedSweep(
+        curve=curve,
+        gamma_star=peak,
+        gain_at_peak=_mean_gain(peak),
+        ci_at_peak=mean_ci_halfwidth(gains[peak], policy.confidence),
+        seeds_at_peak=len(gains[peak]),
+        rounds=rounds,
+        gammas_sampled=len(sampled),
+        cells_saved=cells_saved,
+        seeds_saved=seeds_saved,
+        points=planned_points,
+    )

@@ -50,10 +50,27 @@ from repro.runner.cells import (
 )
 from repro.util.errors import ValidationError
 
-__all__ = ["CellTiming", "RunnerStats", "ExperimentRunner",
+__all__ = ["CellTiming", "RunnerStats", "ExperimentRunner", "check_jobs",
            "get_default_runner", "set_default_runner"]
 
 _log = logging.getLogger("repro.runner")
+
+
+def check_jobs(value, *, source: str = "jobs") -> int:
+    """Validate a worker count at an API/CLI boundary.
+
+    *source* names the flag or parameter in the error (``--jobs``,
+    ``jobs``), mirroring how ``REPRO_JOBS`` parsing names the variable.
+    Accepts integers >= 1 only -- bools and other non-int types are
+    rejected rather than coerced.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"{source} must be an integer >= 1, got {value!r}"
+        )
+    if value < 1:
+        raise ValidationError(f"{source} must be >= 1, got {value}")
+    return value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,6 +102,16 @@ class RunnerStats:
     warmup_sims: int = 0
     #: simulated warm-up seconds avoided by forking.
     warmup_seconds_saved: float = 0.0
+    #: adaptive-planner refinement rounds run (repro.runner.planner).
+    planner_rounds: int = 0
+    #: dense-grid cells the planner never had to simulate.
+    planner_cells_saved: int = 0
+    #: seed replicas the planner's CI stopping left unspent.
+    planner_seeds_saved: int = 0
+    #: executed cells whose window a convergence monitor ended early.
+    truncated_cells: int = 0
+    #: simulated seconds those early exits avoided.
+    truncated_sim_seconds: float = 0.0
     timings: List[CellTiming] = dataclasses.field(default_factory=list)
     #: distinct platform seeds seen across all measured cells.
     seeds: Set[int] = dataclasses.field(default_factory=set)
@@ -129,11 +156,13 @@ class RunnerStats:
             return None
         return self.parallel_busy_seconds / self.parallel_worker_seconds
 
-    def checkpoint(self) -> Tuple[int, int, int, float, int, int, float]:
+    def checkpoint(self) -> Tuple:
         """An opaque marker for :meth:`since` / :meth:`delta_snapshot`."""
         return (self.executed, self.cache_hits, self.memo_hits,
                 self.executed_seconds, self.warm_starts, self.warmup_sims,
-                self.warmup_seconds_saved)
+                self.warmup_seconds_saved, self.planner_rounds,
+                self.planner_cells_saved, self.planner_seeds_saved,
+                self.truncated_cells, self.truncated_sim_seconds)
 
     def delta_snapshot(self, mark: Tuple) -> dict:
         """JSON-ready accounting of the work done since *mark*."""
@@ -141,9 +170,11 @@ class RunnerStats:
         cached = self.cache_hits - mark[1]
         memo = self.memo_hits - mark[2]
         total = executed + cached + memo
-        # Marks from before the warm-start counters existed are accepted
-        # as zero baselines (run-log replay tooling stores them).
-        warm_mark = mark[4:] if len(mark) >= 7 else (0, 0, 0.0)
+        # Marks from before the warm-start / planner counters existed
+        # are accepted as zero baselines (run-log replay tooling stores
+        # them).
+        warm_mark = mark[4:7] if len(mark) >= 7 else (0, 0, 0.0)
+        planner_mark = mark[7:12] if len(mark) >= 12 else (0, 0, 0, 0, 0.0)
         return {
             "cells": total,
             "executed": executed,
@@ -154,6 +185,13 @@ class RunnerStats:
             "warm_starts": self.warm_starts - warm_mark[0],
             "warmup_sims": self.warmup_sims - warm_mark[1],
             "warmup_seconds_saved": self.warmup_seconds_saved - warm_mark[2],
+            "planner_rounds": self.planner_rounds - planner_mark[0],
+            "planner_cells_saved": self.planner_cells_saved - planner_mark[1],
+            "planner_seeds_saved": self.planner_seeds_saved - planner_mark[2],
+            "truncated_cells": self.truncated_cells - planner_mark[3],
+            "truncated_sim_seconds": (
+                self.truncated_sim_seconds - planner_mark[4]
+            ),
         }
 
     def snapshot(self) -> dict:
@@ -183,6 +221,19 @@ class RunnerStats:
                 f"; {delta['warm_starts']} warm starts saved "
                 f"{delta['warmup_seconds_saved']:.0f}s of simulated warm-up"
             )
+        if delta["planner_rounds"] or delta["planner_seeds_saved"] or (
+            delta["planner_cells_saved"]
+        ):
+            line += (
+                f"; planner: {delta['planner_rounds']} refinement rounds, "
+                f"{delta['planner_cells_saved']} grid cells + "
+                f"{delta['planner_seeds_saved']} seeds saved"
+            )
+        if delta["truncated_cells"]:
+            line += (
+                f"; {delta['truncated_cells']} early exits truncated "
+                f"{delta['truncated_sim_seconds']:.0f}s of simulation"
+            )
         return line
 
     def summary(self) -> str:
@@ -190,7 +241,7 @@ class RunnerStats:
 
 
 #: A checkpoint mark taken before any work (the epoch baseline).
-_ZERO_MARK = (0, 0, 0, 0.0, 0, 0, 0.0)
+_ZERO_MARK = (0, 0, 0, 0.0, 0, 0, 0.0, 0, 0, 0, 0, 0.0)
 
 
 def _execute_unit(cells: Tuple[Cell, ...]) -> GroupResult:
@@ -223,9 +274,7 @@ class ExperimentRunner:
 
     def __init__(self, *, jobs: int = 1, cache_dir=None,
                  warm_start: bool = True) -> None:
-        if jobs < 1:
-            raise ValidationError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
+        self.jobs = check_jobs(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.warm_start = warm_start
         self.stats = RunnerStats()
@@ -385,6 +434,11 @@ class ExperimentRunner:
                 "cell": cell.describe(), "elapsed": elapsed,
             })
         self.stats.record(key, "executed", elapsed)
+        if result.converged_at is not None:
+            self.stats.truncated_cells += 1
+            self.stats.truncated_sim_seconds += (
+                cell.warmup + cell.window - result.converged_at
+            )
         _log.debug("cell %s: executed in %.2fs", key[:12], elapsed)
 
     # ------------------------------------------------------------------

@@ -55,3 +55,55 @@ class TestFlowDamage:
     def test_length_mismatch(self):
         with pytest.raises(ValidationError):
             per_flow_damage([0.1], [1.0, 2.0], [0.5])
+
+
+class TestMeanCI:
+    def test_known_halfwidth(self):
+        from scipy import stats as sps
+
+        from repro.analysis.stats import mean_ci_halfwidth
+
+        samples = [1.0, 2.0, 3.0, 4.0]
+        expected = (sps.t.ppf(0.975, df=3)
+                    * (5.0 / 3.0) ** 0.5 / 2.0)
+        assert mean_ci_halfwidth(samples) == pytest.approx(expected)
+
+    def test_single_sample_is_unbounded(self):
+        from repro.analysis.stats import mean_ci_halfwidth
+
+        assert mean_ci_halfwidth([2.5]) == float("inf")
+
+    def test_zero_variance_is_zero_width(self):
+        from repro.analysis.stats import mean_ci_halfwidth
+
+        assert mean_ci_halfwidth([0.3, 0.3, 0.3]) == 0.0
+
+    def test_bad_inputs_rejected(self):
+        from repro.analysis.stats import mean_ci_halfwidth
+
+        with pytest.raises(ValidationError):
+            mean_ci_halfwidth([])
+        with pytest.raises(ValidationError):
+            mean_ci_halfwidth([1.0, 2.0], confidence=1.0)
+
+
+class TestCIStable:
+    def test_stable_when_halfwidth_within_tolerance(self):
+        from repro.analysis.stats import ci_stable
+
+        assert ci_stable([1.0, 1.01, 0.99], rel_tol=0.1)
+        assert not ci_stable([1.0, 2.0, 0.5], rel_tol=0.1)
+
+    def test_single_sample_never_stable(self):
+        from repro.analysis.stats import ci_stable
+
+        assert not ci_stable([1.0], rel_tol=10.0)
+
+    def test_scale_floor_rescues_near_zero_means(self):
+        from repro.analysis.stats import ci_stable
+
+        # Mean ~0 makes any finite CI "relatively" huge; the floor
+        # supplies the scale the quantity is judged against.
+        samples = [0.001, -0.001, 0.0005]
+        assert not ci_stable(samples, rel_tol=0.15)
+        assert ci_stable(samples, rel_tol=0.15, scale_floor=0.1)

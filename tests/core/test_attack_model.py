@@ -178,3 +178,24 @@ class TestPeriodFromGamma:
         assert period == pytest.approx(ms(100))
         train = PulseTrain.from_gamma(n_pulses=3, **kwargs)
         assert train.space == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("rate_bps,extent,bottleneck_bps", [
+        (mbps(25), ms(50), mbps(15)),
+        (mbps(30), ms(100), mbps(15)),
+        (mbps(40), ms(75), mbps(10)),
+        (mbps(50), ms(150), mbps(10)),
+    ])
+    def test_inverts_every_default_gamma(self, rate_bps, extent,
+                                         bottleneck_bps):
+        # Eq. (4) solved for the period must invert back to the exact
+        # γ that was asked for, across the swept grid and attack
+        # shapes whose C_attack stays above the grid (no clamping).
+        from repro.experiments.base import default_gammas
+
+        for gamma in default_gammas():
+            period = PulseTrain.period_from_gamma(
+                gamma=float(gamma), rate_bps=rate_bps, extent=extent,
+                bottleneck_bps=bottleneck_bps,
+            )
+            recovered = rate_bps * extent / (period * bottleneck_bps)
+            assert abs(recovered - gamma) <= 1e-12

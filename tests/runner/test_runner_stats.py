@@ -37,6 +37,17 @@ class TestRatios:
         stats.parallel_worker_seconds = 4.0  # 2 workers x 2 s wall
         assert stats.worker_utilization == 0.75
 
+    def test_worker_utilization_none_at_zero_elapsed_time(self):
+        # A batch so fast the wall clock read 0.0 must not divide by
+        # zero -- no available worker-seconds means no utilization yet.
+        stats = make_stats(executed=1)
+        stats.parallel_batches = 1
+        stats.parallel_wall_seconds = 0.0
+        stats.parallel_busy_seconds = 0.0
+        stats.parallel_worker_seconds = 0.0
+        assert stats.worker_utilization is None
+        assert stats.snapshot()["worker_utilization"] is None
+
 
 class TestSnapshots:
     def test_snapshot_is_cumulative(self):
@@ -67,6 +78,9 @@ class TestSnapshots:
             "hit_ratio": 0.5, "executed_seconds": pytest.approx(2.0),
             "warm_starts": 1, "warmup_sims": 1,
             "warmup_seconds_saved": pytest.approx(6.0),
+            "planner_rounds": 0, "planner_cells_saved": 0,
+            "planner_seeds_saved": 0, "truncated_cells": 0,
+            "truncated_sim_seconds": 0.0,
         }
 
     def test_delta_snapshot_accepts_pre_warm_start_marks(self):
@@ -79,6 +93,52 @@ class TestSnapshots:
         assert delta["executed"] == 1
         assert delta["warm_starts"] == 2
         assert delta["warmup_seconds_saved"] == pytest.approx(12.0)
+
+    def test_delta_snapshot_accepts_pre_planner_marks(self):
+        # 7-tuple marks predate the planner counters; those baseline at
+        # zero while the warm-start fields still subtract.
+        stats = make_stats(executed=1)
+        stats.warm_starts = 3
+        stats.planner_rounds = 2
+        stats.planner_seeds_saved = 9
+        stats.truncated_sim_seconds = 30.0
+        delta = stats.delta_snapshot((0, 0, 0, 0.0, 1, 0, 0.0))
+        assert delta["warm_starts"] == 2
+        assert delta["planner_rounds"] == 2
+        assert delta["planner_seeds_saved"] == 9
+        assert delta["truncated_sim_seconds"] == pytest.approx(30.0)
+
+    def test_checkpoint_roundtrip_with_planner_counters(self):
+        # A checkpoint taken with planner counters present must zero the
+        # delta exactly, and further planner work must subtract cleanly.
+        stats = make_stats(executed=2)
+        stats.planner_rounds = 1
+        stats.planner_cells_saved = 4
+        stats.planner_seeds_saved = 6
+        stats.truncated_cells = 5
+        stats.truncated_sim_seconds = 42.5
+        mark = stats.checkpoint()
+        zero = stats.delta_snapshot(mark)
+        assert all(value == 0 for key, value in zero.items()
+                   if key != "hit_ratio")
+        stats.planner_rounds += 2
+        stats.truncated_cells += 1
+        stats.truncated_sim_seconds += 7.5
+        delta = stats.delta_snapshot(mark)
+        assert delta["planner_rounds"] == 2
+        assert delta["planner_cells_saved"] == 0
+        assert delta["truncated_cells"] == 1
+        assert delta["truncated_sim_seconds"] == pytest.approx(7.5)
+
+    def test_delta_snapshot_of_empty_batch_is_all_zero(self):
+        stats = make_stats(executed=3, cache=1)
+        stats.planner_seeds_saved = 2
+        mark = stats.checkpoint()
+        delta = stats.delta_snapshot(mark)
+        assert delta["cells"] == 0
+        assert delta["hit_ratio"] == 0.0  # vacuous, not NaN
+        assert delta["executed_seconds"] == 0.0
+        assert delta["planner_seeds_saved"] == 0
 
     def test_since_renders_delta_with_hit_ratio(self):
         stats = make_stats(executed=1, memo=3, seconds_each=0.2)

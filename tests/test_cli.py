@@ -175,3 +175,59 @@ class TestObsReport:
     def test_report_missing_log_fails(self, capsys, tmp_path):
         assert main(["obs", "report", str(tmp_path / "absent.jsonl")]) == 1
         assert "no such run log" in capsys.readouterr().err
+
+
+class TestFastAndJobsFlags:
+    def test_fast_flag_parses_off_by_default(self):
+        assert not build_parser().parse_args(["fig04"]).fast
+        assert build_parser().parse_args(["fig04", "--fast"]).fast
+
+    def test_fast_sets_env(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        # fig01 is a cwnd trace -- unaffected by the planner, so this
+        # stays cheap while still exercising the env hand-off.
+        assert main(["fig01", "--fast", "--no-cache"]) == 0
+        assert os.environ.get("REPRO_FAST") == "1"
+
+    def test_non_positive_jobs_rejected_by_name(self):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="--jobs"):
+            main(["fig04", "-j", "0"])
+        with pytest.raises(ValidationError, match="--jobs"):
+            main(["fig04", "--jobs", "-3"])
+
+    def test_non_integer_jobs_rejected_by_argparse(self):
+        # argparse's type=int still screens non-numeric values.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig04", "-j", "two"])
+
+
+class TestRunnerJobsValidation:
+    def test_runner_rejects_non_positive_jobs(self):
+        from repro.runner import ExperimentRunner
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="jobs"):
+            ExperimentRunner(jobs=0)
+        with pytest.raises(ValidationError, match="got -1"):
+            ExperimentRunner(jobs=-1)
+
+    def test_runner_rejects_non_integer_jobs(self):
+        from repro.runner import ExperimentRunner
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="must be an integer"):
+            ExperimentRunner(jobs=2.5)
+        with pytest.raises(ValidationError, match="must be an integer"):
+            ExperimentRunner(jobs=True)
+
+    def test_check_jobs_names_its_source(self):
+        from repro.runner import check_jobs
+        from repro.util.errors import ValidationError
+
+        assert check_jobs(4) == 4
+        with pytest.raises(ValidationError, match="REPRO_JOBS"):
+            check_jobs(0, source="REPRO_JOBS")
