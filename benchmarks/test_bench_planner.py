@@ -135,9 +135,12 @@ def test_bench_planner(benchmark, record_result):
     rows.append(f"exact runner: {exact_runner.stats.summary()}")
     record_result("planner", "\n".join(rows))
 
-    # The planner actually adapted: refinement and early exits happened.
+    # The planner actually adapted: the fluid pre-pass localized every
+    # panel (FAST_POLICY ships with it, which is also why refinement
+    # rounds are 0 -- the confirm grid is already at target
+    # resolution), and early exits happened.
     stats = fast_runner.stats
-    assert stats.planner_rounds > 0
+    assert stats.fluid_cells > 0
     assert stats.truncated_cells > 0
     assert stats.planner_cells_saved > 0
 

@@ -57,6 +57,7 @@ class _Row:
         self.truncated_cells = _runner_field(record, "truncated_cells")
         self.truncated_sim_seconds = _runner_field(
             record, "truncated_sim_seconds")
+        self.fluid_cells = _runner_field(record, "fluid_cells")
         self.events = _metric(record, "engine.events_dispatched")
         wall = _metric(record, "engine.wall_seconds")
         self.events_per_sec = (
@@ -159,6 +160,9 @@ def summarize_records(records: Iterable[dict]) -> str:
             f"; {truncated:.0f} early exits truncated "
             f"{_total('truncated_sim_seconds'):.0f}s of simulation"
         )
+    fluid = _total("fluid_cells")
+    if fluid:
+        footer += f"; {fluid:.0f} cells on the fluid backend"
     lines.append(footer)
     return "\n".join(lines)
 

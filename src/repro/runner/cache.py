@@ -39,10 +39,17 @@ _VERSIONED = (
     "runner/cells.py",
 )
 
+#: The fluid (ODE) backend lives in one module the packet executor
+#: never imports (``execute_cell`` loads it lazily).  Packet cells
+#: exclude it from their fingerprint, so recalibrating the fluid model
+#: cannot invalidate expensive packet-level results; fluid cells
+#: include it, so a calibration edit re-runs exactly the fluid entries.
+_FLUID_MODULE = "sim/fluid.py"
 
-@functools.lru_cache(maxsize=1)
-def code_version() -> str:
-    """Fingerprint of the measurement-relevant source tree."""
+
+@functools.lru_cache(maxsize=None)
+def code_version(backend: str = "packet") -> str:
+    """Fingerprint of the source tree *backend* measurements depend on."""
     import repro
 
     base = pathlib.Path(repro.__file__).resolve().parent
@@ -54,7 +61,10 @@ def code_version() -> str:
         else:
             files = [target]
         for path in files:
-            digest.update(str(path.relative_to(base)).encode())
+            relative = str(path.relative_to(base))
+            if backend == "packet" and relative == _FLUID_MODULE:
+                continue
+            digest.update(relative.encode())
             digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
 
@@ -63,7 +73,7 @@ def cell_key(cell: Cell, version: Optional[str] = None) -> str:
     """The cache key of *cell*: content hash of scenario + code version."""
     payload = {
         "cell": cell.describe(),
-        "code": version if version is not None else code_version(),
+        "code": version if version is not None else code_version(cell.backend),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -188,6 +188,18 @@ class Cell:
             then carries ``converged_at``).  Early-exit cells serialize
             the config into their identity, so they can never share a
             cache entry with an exact full-window cell.
+        backend: ``"packet"`` (the exact event-driven engine, default)
+            or ``"fluid"`` (the ODE model of :mod:`repro.sim.fluid` --
+            milliseconds per cell, γ-landscape accuracy only).  The
+            backend is part of :meth:`describe`, so fluid and packet
+            results can never collide in the cache.
+        fluid_max_step: integration step-size cap for fluid cells, or
+            ``None`` for the backend default
+            (:data:`repro.sim.fluid.DEFAULT_MAX_STEP`).  Coarser steps
+            trade per-cell fidelity for speed -- the planner pre-pass
+            uses one because it only needs the γ landscape's shape.
+            Part of the cell identity, so results integrated at
+            different resolutions never share a cache entry.
     """
 
     platform: PlatformSpec
@@ -197,6 +209,8 @@ class Cell:
     deployment: Optional[DeploymentSpec] = None
     rate_floor_bps: Optional[float] = None
     early_exit: Optional[ConvergenceConfig] = None
+    backend: str = "packet"
+    fluid_max_step: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_non_negative("warmup", self.warmup)
@@ -214,6 +228,26 @@ class Cell:
             )
         if self.rate_floor_bps is not None:
             check_positive("rate_floor_bps", self.rate_floor_bps)
+        if self.backend not in ("packet", "fluid"):
+            raise ValidationError(
+                f"backend must be 'packet' or 'fluid', got {self.backend!r}"
+            )
+        if self.backend == "fluid" and self.rate_floor_bps is not None:
+            raise ValidationError(
+                "conformance detection is packet-level; fluid cells "
+                "cannot carry a rate floor"
+            )
+        if self.backend == "fluid" and self.early_exit is not None:
+            raise ValidationError(
+                "the fluid backend integrates the full window in "
+                "milliseconds; early exit applies to packet cells only"
+            )
+        if self.fluid_max_step is not None:
+            if self.backend != "fluid":
+                raise ValidationError(
+                    "fluid_max_step only applies to fluid cells"
+                )
+            check_positive("fluid_max_step", self.fluid_max_step)
 
     def describe(self) -> dict:
         """A JSON-serializable identity (feeds the cache key)."""
@@ -231,6 +265,12 @@ class Cell:
         # cache keys) byte for byte; early-exit cells hash differently.
         if self.early_exit is not None:
             payload["early_exit"] = self.early_exit.describe()
+        # Same pattern: default packet cells keep their existing keys,
+        # fluid cells can never collide with them.
+        if self.backend != "packet":
+            payload["backend"] = self.backend
+        if self.fluid_max_step is not None:
+            payload["fluid_max_step"] = self.fluid_max_step
         return payload
 
 
@@ -282,11 +322,16 @@ def warmup_key(cell: Cell) -> str:
     window length deliberately do not appear -- they only act after the
     prefix ends.
     """
-    return json.dumps({
+    payload = {
         "platform": cell.platform.describe(),
         "warmup": cell.warmup,
         "rate_floor_bps": cell.rate_floor_bps,
-    }, sort_keys=True)
+    }
+    # Fluid cells never share a snapshot with packet cells (there is no
+    # packet-level network to fork); conditional for key stability.
+    if cell.backend != "packet":
+        payload["backend"] = cell.backend
+    return json.dumps(payload, sort_keys=True)
 
 
 def _build_warm(cell: Cell):
@@ -346,8 +391,36 @@ def _measure_warmed(net, detector, cell: Cell) -> CellResult:
     )
 
 
+def _execute_fluid(cell: Cell) -> CellResult:
+    """Run one measurement on the fluid (ODE) backend."""
+    # Imported lazily so the default packet path never loads the fluid
+    # module (keeps the packet executor's import set, and its
+    # determinism envelope, untouched).
+    from repro.sim.fluid import scenario_from_config, simulate_fluid
+
+    if cell.deployment is not None:
+        sources = tuple(zip(cell.deployment.trains, cell.deployment.offsets))
+    elif cell.train is not None:
+        sources = ((cell.train, 0.0),)
+    else:
+        sources = ()
+    kwargs = {}
+    if cell.fluid_max_step is not None:
+        kwargs["max_step"] = cell.fluid_max_step
+    result = simulate_fluid(
+        scenario_from_config(cell.platform.to_config()),
+        warmup=cell.warmup,
+        window=cell.window,
+        sources=sources,
+        **kwargs,
+    )
+    return CellResult(goodput_bytes=result.goodput_bytes)
+
+
 def execute_cell(cell: Cell) -> CellResult:
     """Run one measurement from scratch (pure: spec in, result out)."""
+    if cell.backend == "fluid":
+        return _execute_fluid(cell)
     net, detector = _build_warm(cell)
     return _measure_warmed(net, detector, cell)
 
@@ -396,6 +469,16 @@ def execute_cell_group(cells: Sequence[Cell]) -> GroupResult:
                 "execute_cell_group: cells must share a warmup prefix "
                 f"(expected {key}, got {warmup_key(cell)})"
             )
+
+    if first.backend == "fluid":
+        # Fluid cells have no packet network to snapshot, and each one
+        # integrates in milliseconds -- just run them back to back.
+        results, elapsed = [], []
+        for cell in cells:
+            started = time.perf_counter()
+            results.append(execute_cell(cell))
+            elapsed.append(time.perf_counter() - started)
+        return GroupResult(tuple(results), tuple(elapsed), 0, 0, 0.0)
 
     started = time.perf_counter()
     net, detector = _build_warm(first)

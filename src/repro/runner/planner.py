@@ -77,6 +77,21 @@ class PlannerPolicy:
             the reported peak always carries a finite CI.
         early_exit: convergence early-exit config stamped on every
             planner cell, or ``None`` to always run full windows.
+        fluid_prepass: localize γ* on the fluid (ODE) backend first --
+            milliseconds per cell -- and aim the packet-level coarse
+            grid at just the neighborhood of the fluid peak.
+        fluid_grid_points: resolution of the fluid localization grid --
+            the pre-pass localizes γ* as finely as an N-point grid over
+            the sweep span, but samples it in two stages (every other
+            point, then just the peak's immediate neighbors), so it
+            only integrates about half the grid.
+        fluid_confirm_points: packet-level γ samples (spaced
+            :attr:`gamma_resolution` apart, centered on the fluid peak)
+            that confirm the peak when the pre-pass ran.
+        fluid_max_step: integration step cap for pre-pass fluid cells.
+            Coarser than the fluid backend's full-fidelity default: the
+            pre-pass only needs the γ landscape's shape, and the packet
+            confirm grid absorbs a one-step localization error.
     """
 
     coarse_points: int = 5
@@ -90,6 +105,10 @@ class PlannerPolicy:
     gain_floor: float = 0.1
     confirm_peak_seeds: int = 2
     early_exit: Optional[ConvergenceConfig] = ConvergenceConfig()
+    fluid_prepass: bool = False
+    fluid_grid_points: int = 17
+    fluid_confirm_points: int = 3
+    fluid_max_step: float = 0.05
 
     def __post_init__(self) -> None:
         if self.coarse_points < 3:
@@ -128,10 +147,21 @@ class PlannerPolicy:
             raise ValidationError(
                 f"gain_floor must be >= 0, got {self.gain_floor}"
             )
+        if self.fluid_grid_points < 3:
+            raise ValidationError(
+                f"fluid_grid_points must be >= 3, got "
+                f"{self.fluid_grid_points}"
+            )
+        if self.fluid_confirm_points < 3:
+            raise ValidationError(
+                f"fluid_confirm_points must be >= 3, got "
+                f"{self.fluid_confirm_points}"
+            )
+        check_positive("fluid_max_step", self.fluid_max_step)
 
 
 #: The policy ``--fast`` / ``REPRO_FAST=1`` selects.
-FAST_POLICY = PlannerPolicy()
+FAST_POLICY = PlannerPolicy(fluid_prepass=True)
 
 
 def fast_mode() -> bool:
@@ -145,8 +175,15 @@ def active_policy() -> Optional[PlannerPolicy]:
 
     Figure drivers call this when no explicit policy is passed, so the
     planner stays invisible unless the user opted in.
+    ``REPRO_NO_FLUID=1`` keeps the planner but drops its fluid
+    pre-pass (``--no-fluid`` on the CLI).
     """
-    return FAST_POLICY if fast_mode() else None
+    if not fast_mode():
+        return None
+    value = os.environ.get("REPRO_NO_FLUID", "").strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return dataclasses.replace(FAST_POLICY, fluid_prepass=False)
+    return FAST_POLICY
 
 
 @dataclasses.dataclass(frozen=True)
@@ -178,6 +215,10 @@ class PlannedSweep:
             the planner skipped.
         seeds_saved: replica budget left unspent by CI stopping.
         points: per-γ replication detail.
+        fluid_gamma_star: the fluid pre-pass's peak estimate, or
+            ``None`` when the pre-pass did not run.
+        fluid_cells: fluid-backend measurements the pre-pass resolved
+            (baseline included).
     """
 
     curve: Any
@@ -190,16 +231,24 @@ class PlannedSweep:
     cells_saved: int
     seeds_saved: int
     points: Tuple[PlannedPoint, ...]
+    fluid_gamma_star: Optional[float] = None
+    fluid_cells: int = 0
 
     def summary(self) -> str:
         ci = "n/a" if math.isinf(self.ci_at_peak) else f"{self.ci_at_peak:.3f}"
-        return (
+        line = (
             f"planner[{self.curve.label}]: gamma*={self.gamma_star:.3f} "
             f"G={self.gain_at_peak:.3f} (CI +-{ci}, "
             f"{self.seeds_at_peak} seeds); {self.rounds} refinement rounds, "
             f"{self.gammas_sampled} gammas sampled, {self.cells_saved} grid "
             f"cells + {self.seeds_saved} seeds saved"
         )
+        if self.fluid_gamma_star is not None:
+            line += (
+                f"; fluid pre-pass localized gamma*~"
+                f"{self.fluid_gamma_star:.3f} with {self.fluid_cells} cells"
+            )
+        return line
 
 
 def run_planned_sweep(
@@ -284,6 +333,73 @@ def run_planned_sweep(
             early_exit=policy.early_exit,
         )
 
+    def _fluid_cell(gamma: Optional[float]) -> Cell:
+        return Cell(
+            platform=base_spec, warmup=warmup, window=window,
+            train=None if gamma is None else _train(gamma),
+            backend="fluid", fluid_max_step=policy.fluid_max_step,
+        )
+
+    def _fluid_localize() -> Tuple[float, int]:
+        """Find the γ* neighborhood on the fluid backend (two stages)."""
+        full = np.linspace(lo, hi, policy.fluid_grid_points)
+        stage = list(range(0, policy.fluid_grid_points, 2))
+        cells = [_fluid_cell(None)]
+        cells.extend(_fluid_cell(float(full[i])) for i in stage)
+        results = runner.measure_many(cells)
+        base_rate = goodput_rate(cells[0], results[0])
+        if base_rate <= 0:
+            raise ValidationError(
+                "fluid baseline goodput is zero; the measurement window "
+                "is too short"
+            )
+        n_cells = len(cells)
+
+        def _gain(cell, result, g):
+            return ((1.0 - goodput_rate(cell, result) / base_rate)
+                    * (1.0 - g) ** kappa)
+
+        gains = {i: _gain(cell, result, float(full[i]))
+                 for i, cell, result in zip(stage, cells[1:], results[1:])}
+        # Stage 2: fill in the full-resolution neighbors of the coarse
+        # argmax -- the true grid peak cannot sit outside them, so this
+        # recovers the full grid's localization with about half its
+        # cells.
+        peak_i = max(gains, key=gains.get)
+        fill = [i for i in (peak_i - 1, peak_i + 1)
+                if 0 <= i < policy.fluid_grid_points and i not in gains]
+        if fill:
+            cells = [_fluid_cell(float(full[i])) for i in fill]
+            results = runner.measure_many(cells)
+            gains.update(
+                (i, _gain(cell, result, float(full[i])))
+                for i, cell, result in zip(fill, cells, results)
+            )
+            n_cells += len(cells)
+        peak_i = max(gains, key=gains.get)
+        return float(full[peak_i]), n_cells
+
+    fluid_gamma_star: Optional[float] = None
+    fluid_cells = 0
+    # The epsilon keeps float noise (0.4 - 0.3 > 0.1) from triggering a
+    # pre-pass on a grid already too narrow to shrink.
+    if (policy.fluid_prepass
+            and hi - lo > 2.0 * policy.gamma_resolution + 1e-9):
+        fluid_gamma_star, fluid_cells = _fluid_localize()
+        # Re-aim the packet-level coarse grid at the fluid peak's
+        # neighborhood: confirm points spaced one resolution step apart,
+        # clamped so the whole grid stays inside [lo, hi].  Everything
+        # downstream (refinement, seed allocation, peak confirmation)
+        # operates on this narrow grid unchanged; the dense-grid savings
+        # baseline keeps the original [lo, hi] span.
+        half_span = (policy.fluid_confirm_points - 1) / 2.0
+        center = min(max(fluid_gamma_star,
+                         lo + half_span * policy.gamma_resolution),
+                     hi - half_span * policy.gamma_resolution)
+        grid = center + policy.gamma_resolution * (
+            np.arange(policy.fluid_confirm_points) - half_span
+        )
+
     # γ -> per-replica samples, in seed order; seed_index -> baseline rate.
     gains: Dict[float, List[float]] = {}
     degradations: Dict[float, List[float]] = {}
@@ -356,7 +472,7 @@ def run_planned_sweep(
         left = sampled[max(peak_index - 1, 0)]
         right = sampled[min(peak_index + 1, len(sampled) - 1)]
         peak = sampled[peak_index]
-        if max(peak - left, right - peak) <= policy.gamma_resolution:
+        if max(peak - left, right - peak) <= policy.gamma_resolution + 1e-9:
             break
         interior = np.linspace(left, right, policy.refine_points + 2)[1:-1]
         fresh = [
@@ -441,4 +557,6 @@ def run_planned_sweep(
         cells_saved=cells_saved,
         seeds_saved=seeds_saved,
         points=planned_points,
+        fluid_gamma_star=fluid_gamma_star,
+        fluid_cells=fluid_cells,
     )

@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import metrics as _obs_metrics
 from repro.obs.instrument import publish_runner
-from repro.runner.cache import ResultCache, cell_key, code_version
+from repro.runner.cache import ResultCache, cell_key
 from repro.runner.cells import (
     Cell,
     CellResult,
@@ -112,6 +112,8 @@ class RunnerStats:
     truncated_cells: int = 0
     #: simulated seconds those early exits avoided.
     truncated_sim_seconds: float = 0.0
+    #: executed cells resolved on the fluid (ODE) backend.
+    fluid_cells: int = 0
     timings: List[CellTiming] = dataclasses.field(default_factory=list)
     #: distinct platform seeds seen across all measured cells.
     seeds: Set[int] = dataclasses.field(default_factory=set)
@@ -162,7 +164,8 @@ class RunnerStats:
                 self.executed_seconds, self.warm_starts, self.warmup_sims,
                 self.warmup_seconds_saved, self.planner_rounds,
                 self.planner_cells_saved, self.planner_seeds_saved,
-                self.truncated_cells, self.truncated_sim_seconds)
+                self.truncated_cells, self.truncated_sim_seconds,
+                self.fluid_cells)
 
     def delta_snapshot(self, mark: Tuple) -> dict:
         """JSON-ready accounting of the work done since *mark*."""
@@ -175,6 +178,7 @@ class RunnerStats:
         # them).
         warm_mark = mark[4:7] if len(mark) >= 7 else (0, 0, 0.0)
         planner_mark = mark[7:12] if len(mark) >= 12 else (0, 0, 0, 0, 0.0)
+        fluid_mark = mark[12] if len(mark) >= 13 else 0
         return {
             "cells": total,
             "executed": executed,
@@ -192,6 +196,7 @@ class RunnerStats:
             "truncated_sim_seconds": (
                 self.truncated_sim_seconds - planner_mark[4]
             ),
+            "fluid_cells": self.fluid_cells - fluid_mark,
         }
 
     def snapshot(self) -> dict:
@@ -234,6 +239,10 @@ class RunnerStats:
                 f"; {delta['truncated_cells']} early exits truncated "
                 f"{delta['truncated_sim_seconds']:.0f}s of simulation"
             )
+        if delta["fluid_cells"]:
+            line += (
+                f"; {delta['fluid_cells']} cells on the fluid backend"
+            )
         return line
 
     def summary(self) -> str:
@@ -241,7 +250,7 @@ class RunnerStats:
 
 
 #: A checkpoint mark taken before any work (the epoch baseline).
-_ZERO_MARK = (0, 0, 0, 0.0, 0, 0, 0.0, 0, 0, 0, 0, 0.0)
+_ZERO_MARK = (0, 0, 0, 0.0, 0, 0, 0.0, 0, 0, 0, 0, 0.0, 0)
 
 
 def _execute_unit(cells: Tuple[Cell, ...]) -> GroupResult:
@@ -296,8 +305,8 @@ class ExperimentRunner:
         Results come back in input order.  Duplicate cells (same content
         key) are measured once and counted as memo hits thereafter.
         """
-        version = code_version()
-        keys = [cell_key(cell, version) for cell in cells]
+        # cell_key resolves the (memoized) per-backend code fingerprint.
+        keys = [cell_key(cell) for cell in cells]
         results: Dict[str, CellResult] = {}
         pending: Dict[str, Cell] = {}
         for key, cell in zip(keys, cells):
@@ -434,6 +443,8 @@ class ExperimentRunner:
                 "cell": cell.describe(), "elapsed": elapsed,
             })
         self.stats.record(key, "executed", elapsed)
+        if cell.backend == "fluid":
+            self.stats.fluid_cells += 1
         if result.converged_at is not None:
             self.stats.truncated_cells += 1
             self.stats.truncated_sim_seconds += (

@@ -24,7 +24,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.util.errors import ValidationError
-from repro.util.validate import check_positive
+from repro.util.validate import check_non_negative, check_positive
 
 __all__ = ["ConvergenceConfig", "GoodputConvergenceMonitor"]
 
@@ -41,12 +41,21 @@ class ConvergenceConfig:
         min_fraction: fraction of the window that must elapse before the
             first check -- transients right after the attack starts must
             not pass for steady state.
+        scale_floor: goodput-rate scale (bytes/s) below which the
+            tolerance band stops shrinking, mirroring
+            :func:`repro.analysis.stats.ci_stable`.  A purely relative
+            band never admits near-zero but jittery goodput (fully
+            starved flows emitting stray retransmits) -- exactly the
+            cells early exit helps most.  The default is well under 1%
+            of any bottleneck rate the paper's scenarios use; 0 restores
+            the strictly relative criterion.
     """
 
     check_interval: float = 1.0
     rel_tol: float = 0.02
     stable_checks: int = 3
     min_fraction: float = 0.3
+    scale_floor: float = 1e4
 
     def __post_init__(self) -> None:
         check_positive("check_interval", self.check_interval)
@@ -59,6 +68,7 @@ class ConvergenceConfig:
             raise ValidationError(
                 f"min_fraction must be in [0, 1), got {self.min_fraction}"
             )
+        check_non_negative("scale_floor", self.scale_floor)
 
     def describe(self) -> dict:
         """A JSON-serializable identity (feeds the cache key)."""
@@ -67,6 +77,7 @@ class ConvergenceConfig:
             "rel_tol": self.rel_tol,
             "stable_checks": self.stable_checks,
             "min_fraction": self.min_fraction,
+            "scale_floor": self.scale_floor,
         }
 
 
@@ -104,8 +115,10 @@ class GoodputConvergenceMonitor:
     def arm(self, *, start: float, horizon: float) -> None:
         """Start monitoring a window spanning [start, horizon].
 
-        Must be called with the simulation clock at *start* (the
-        baseline byte count is read immediately).
+        May be called any time at or before *start*: the baseline byte
+        count is read by a scheduled event when the window actually
+        opens, so bytes delivered between arming and *start* can never
+        fold into the rate estimates.
         """
         if horizon <= start:
             raise ValidationError(
@@ -118,15 +131,22 @@ class GoodputConvergenceMonitor:
             )
         self._start = start
         self._horizon = horizon
-        self._start_bytes = self.goodput_fn()
-        first = start + max(
-            self.config.min_fraction * (horizon - start),
-            self.config.check_interval,
-        )
-        if first < horizon:
-            self.sim.schedule_at(first, self._check)
+        if self.sim.now >= start:
+            self._begin()
+        else:
+            self.sim.schedule_at(start, self._begin)
 
     # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        """Window opening: snapshot the baseline, schedule the checks."""
+        self._start_bytes = self.goodput_fn()
+        first = self._start + max(
+            self.config.min_fraction * (self._horizon - self._start),
+            self.config.check_interval,
+        )
+        if first < self._horizon:
+            self.sim.schedule_at(first, self._check)
+
     def _check(self) -> None:
         now = self.sim.now
         elapsed = now - self._start
@@ -136,9 +156,11 @@ class GoodputConvergenceMonitor:
         if len(self._estimates) == self.config.stable_checks:
             mean = sum(self._estimates) / len(self._estimates)
             spread = max(self._estimates) - min(self._estimates)
-            # A flat-zero window (fully starved flows) has spread 0 and
-            # mean 0: converged at zero goodput.
-            if spread <= self.config.rel_tol * mean:
+            # The floor keeps the band non-degenerate for starved flows:
+            # a few stray retransmits per window are steady state at
+            # (effectively) zero, not an unconverged run.
+            scale = max(mean, self.config.scale_floor)
+            if spread <= self.config.rel_tol * scale:
                 self.converged_at = now
                 self.sim.stop()
                 return

@@ -73,6 +73,37 @@ class TestCellKey:
     def test_default_version_is_the_fingerprint(self):
         assert cell_key(cell()) == cell_key(cell(), version=code_version())
 
+    def test_distinguishes_backend(self):
+        # Fluid and packet measurements of the same scenario must never
+        # collide in the cache.
+        packet = cell()
+        fluid = dataclasses.replace(packet, backend="fluid")
+        assert cell_key(packet) != cell_key(fluid)
+        # Default packet cells keep their historical identity: no
+        # backend key appears in their description.
+        assert "backend" not in packet.describe()
+        assert fluid.describe()["backend"] == "fluid"
+
+    def test_distinguishes_fluid_integration_step(self):
+        # A coarsely integrated pre-pass result must never answer for a
+        # full-fidelity fluid measurement (or vice versa).
+        fluid = dataclasses.replace(cell(), backend="fluid")
+        coarse = dataclasses.replace(fluid, fluid_max_step=0.05)
+        assert cell_key(fluid) != cell_key(coarse)
+        assert "fluid_max_step" not in fluid.describe()
+        assert coarse.describe()["fluid_max_step"] == 0.05
+
+    def test_backend_round_trips_through_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        packet = cell()
+        fluid = dataclasses.replace(packet, backend="fluid")
+        cache.put(cell_key(packet), CellResult(goodput_bytes=1.0),
+                  meta={"cell": packet.describe()})
+        cache.put(cell_key(fluid), CellResult(goodput_bytes=2.0),
+                  meta={"cell": fluid.describe()})
+        assert cache.get(cell_key(packet)).goodput_bytes == 1.0
+        assert cache.get(cell_key(fluid)).goodput_bytes == 2.0
+
 
 class TestDefaultCacheDir:
     def test_env_override_wins(self, monkeypatch, tmp_path):
@@ -136,3 +167,9 @@ class TestCodeVersion:
         version = code_version()
         assert len(version) == 16
         int(version, 16)  # raises if not hex
+
+    def test_backends_have_distinct_fingerprints(self):
+        # The packet fingerprint excludes the fluid module (the packet
+        # executor never imports it), so recalibrating the fluid model
+        # cannot invalidate packet-level cache entries.
+        assert code_version("packet") != code_version("fluid")

@@ -1,5 +1,6 @@
 """Cell / PlatformSpec / DeploymentSpec specs and the pure executor."""
 
+import dataclasses
 import pickle
 
 import pytest
@@ -117,6 +118,36 @@ class TestCell:
         blob = json.dumps(cell.describe(), sort_keys=True)
         assert json.loads(blob) == cell.describe()
 
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValidationError, match="backend"):
+            Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                 backend="ode")
+
+    def test_fluid_backend_rejects_packet_only_features(self):
+        from repro.sim.convergence import ConvergenceConfig
+
+        with pytest.raises(ValidationError, match="rate floor"):
+            Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                 backend="fluid", rate_floor_bps=mbps(1))
+        with pytest.raises(ValidationError, match="early exit"):
+            Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                 backend="fluid", early_exit=ConvergenceConfig())
+
+    def test_fluid_max_step_is_fluid_only_and_positive(self):
+        with pytest.raises(ValidationError, match="fluid_max_step"):
+            Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                 fluid_max_step=0.05)
+        with pytest.raises(ValidationError, match="fluid_max_step"):
+            Cell(platform=self.platform(), warmup=1.0, window=2.0,
+                 backend="fluid", fluid_max_step=0.0)
+
+    def test_backend_separates_warmup_groups(self):
+        from repro.runner.cells import warmup_key
+
+        packet = Cell(platform=self.platform(), warmup=1.0, window=2.0)
+        fluid = dataclasses.replace(packet, backend="fluid")
+        assert warmup_key(packet) != warmup_key(fluid)
+
 
 class TestExecuteCell:
     def test_deterministic_re_execution(self):
@@ -138,3 +169,21 @@ class TestExecuteCell:
         )
         result = execute_cell(cell)
         assert result.flagged_sources == 1
+
+    def test_fluid_group_matches_per_cell_execution(self):
+        # A same-key fluid group has no snapshot to fork; the group
+        # executor must fall back to per-cell runs, bit-identically,
+        # without claiming any warm-start economics.
+        from repro.runner.cells import execute_cell_group
+
+        base = Cell(
+            platform=PlatformSpec(kind="dumbbell", n_flows=2, seed=11),
+            warmup=1.0, window=2.0, backend="fluid",
+        )
+        attacked = dataclasses.replace(base, train=small_train())
+        group = execute_cell_group([base, attacked])
+        assert group.results[0] == execute_cell(base)
+        assert group.results[1] == execute_cell(attacked)
+        assert group.warmup_sims == 0
+        assert group.warm_starts == 0
+        assert group.warmup_seconds_saved == 0.0

@@ -86,6 +86,52 @@ class TestWarmStartDeterminism:
         assert warm.render() == cold.render()
 
 
+class TestFluidIsolation:
+    def test_packet_path_identical_with_fluid_imported(self):
+        # The default (packet, planner-off) path must stay bit-identical
+        # when the fluid module is merely imported -- the fluid backend
+        # touches no Simulator or Packet state, so loading it (or even
+        # running it) cannot perturb a packet measurement.
+        from repro.experiments.fig06_09_gain import run_gain_figure
+
+        kwargs = dict(flow_counts=[2], extents=[ms(100)], gammas=(0.4, 0.7))
+        previous = set_default_runner(None)
+        try:
+            set_default_runner(ExperimentRunner(jobs=1))
+            clean = run_gain_figure(6, **kwargs)
+
+            import repro.sim.fluid  # noqa: F401 -- the import is the test
+
+            set_default_runner(ExperimentRunner(jobs=1))
+            loaded = run_gain_figure(6, **kwargs)
+        finally:
+            set_default_runner(previous)
+
+        for a, b in zip(clean.all_curves(), loaded.all_curves()):
+            assert [p.measured_degradation for p in a.points] == [
+                p.measured_degradation for p in b.points
+            ]
+        assert clean.render() == loaded.render()
+
+    def test_packet_cells_unaffected_by_interleaved_fluid_cells(self):
+        # Running fluid cells between packet cells in the same runner
+        # must not change the packet bytes (no shared RNG, no shared
+        # engine state, distinct memo keys).
+        from repro.runner import Cell, PlatformSpec
+
+        spec = PlatformSpec(kind="dumbbell", n_flows=2, seed=7)
+        packet = Cell(platform=spec, warmup=1.0, window=2.0)
+        fluid = Cell(platform=spec, warmup=1.0, window=2.0,
+                     backend="fluid")
+
+        alone = ExperimentRunner(jobs=1).measure(packet)
+        runner = ExperimentRunner(jobs=1)
+        runner.measure(fluid)
+        interleaved = runner.measure(packet)
+        assert interleaved.goodput_bytes == alone.goodput_bytes
+        assert runner.stats.fluid_cells == 1
+
+
 class TestPacketTraceDeterminism:
     @staticmethod
     def _traced_run():

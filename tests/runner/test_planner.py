@@ -160,6 +160,82 @@ class TestRefinement:
             sweep(runner, policy(), gammas=(0.3, 0.5, 3.0))
 
 
+class TestFluidPrepass:
+    def test_localizes_on_fluid_then_confirms_with_packet(self):
+        runner = StubRunner(peak=0.42)
+        result = sweep(runner, policy(fluid_prepass=True, max_rounds=0))
+        # Two-stage sampling of the 17-point grid: the fluid baseline,
+        # 9 coarse points, then the 2 full-resolution peak neighbors.
+        assert result.fluid_cells == 12
+        assert result.fluid_gamma_star == pytest.approx(0.42, abs=0.05)
+        # Packet confirmation shrank to 3 points around the fluid peak.
+        assert result.gammas_sampled == 3
+        assert list(result.curve.gammas()) == pytest.approx(
+            [0.35, 0.40, 0.45])
+        fluid = [c for c in runner.cells_measured if c.backend == "fluid"]
+        packet = [c for c in runner.cells_measured if c.backend == "packet"]
+        assert len(fluid) == 12
+        # Pre-pass cells integrate at the policy's coarse step; packet
+        # cells never carry the fluid-only knob.
+        assert all(c.fluid_max_step == FAST_POLICY.fluid_max_step
+                   for c in fluid)
+        assert all(c.fluid_max_step is None for c in packet)
+        # 3 attacked packet cells + 1 packet baseline.
+        assert len(packet) == 4
+        assert "fluid pre-pass localized" in result.summary()
+
+    def test_confirm_grid_clamps_to_the_sweep_bounds(self):
+        runner = StubRunner(peak=0.05, width=0.1)
+        result = sweep(runner, policy(fluid_prepass=True, max_rounds=0))
+        sampled = result.curve.gammas()
+        assert sampled.min() >= 0.1 - 1e-12
+        assert result.gammas_sampled == 3
+
+    def test_narrow_grids_skip_the_prepass(self):
+        # A span of <= 2 resolution steps cannot be narrowed further,
+        # so the fluid cells would be pure overhead.
+        runner = StubRunner(peak=0.42)
+        result = sweep(runner, policy(fluid_prepass=True, max_rounds=0),
+                       gammas=(0.3, 0.35, 0.4))
+        assert result.fluid_cells == 0
+        assert result.fluid_gamma_star is None
+        assert all(c.backend == "packet" for c in runner.cells_measured)
+
+    def test_disabled_prepass_runs_the_full_coarse_grid(self):
+        runner = StubRunner(peak=0.42)
+        result = sweep(runner, policy(fluid_prepass=False, max_rounds=0))
+        assert result.fluid_cells == 0
+        assert result.fluid_gamma_star is None
+        assert result.gammas_sampled == 5
+        assert "fluid pre-pass" not in result.summary()
+
+    def test_savings_count_against_the_dense_packet_grid(self):
+        runner = StubRunner(peak=0.42)
+        result = sweep(runner, policy(fluid_prepass=True, max_rounds=0))
+        dense = int((0.9 - 0.1) / 0.05) + 1
+        assert result.cells_saved == dense - result.gammas_sampled
+        assert runner.stats.planner_cells_saved == result.cells_saved
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fluid_grid_points=2),
+        dict(fluid_confirm_points=2),
+        dict(fluid_max_step=0.0),
+    ])
+    def test_bad_prepass_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            PlannerPolicy(**kwargs)
+
+    def test_no_fluid_env_disables_only_the_prepass(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.setenv("REPRO_NO_FLUID", "1")
+        active = active_policy()
+        assert active is not FAST_POLICY
+        assert not active.fluid_prepass
+        assert dataclasses.replace(active, fluid_prepass=True) == FAST_POLICY
+        monkeypatch.setenv("REPRO_NO_FLUID", "0")
+        assert active_policy() is FAST_POLICY
+
+
 class TestSeedAllocation:
     def test_noise_free_samples_settle_at_two_seeds(self):
         # Zero variance -> the CI half-width is 0 after two replicas,

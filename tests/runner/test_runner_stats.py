@@ -80,7 +80,7 @@ class TestSnapshots:
             "warmup_seconds_saved": pytest.approx(6.0),
             "planner_rounds": 0, "planner_cells_saved": 0,
             "planner_seeds_saved": 0, "truncated_cells": 0,
-            "truncated_sim_seconds": 0.0,
+            "truncated_sim_seconds": 0.0, "fluid_cells": 0,
         }
 
     def test_delta_snapshot_accepts_pre_warm_start_marks(self):
@@ -107,6 +107,16 @@ class TestSnapshots:
         assert delta["planner_rounds"] == 2
         assert delta["planner_seeds_saved"] == 9
         assert delta["truncated_sim_seconds"] == pytest.approx(30.0)
+
+    def test_delta_snapshot_accepts_pre_fluid_marks(self):
+        # 12-tuple marks predate the fluid-backend counter; it baselines
+        # at zero while later fields still subtract.
+        stats = make_stats(executed=1)
+        stats.fluid_cells = 4
+        delta = stats.delta_snapshot(
+            (0, 0, 0, 0.0, 0, 0, 0.0, 0, 0, 0, 0, 0.0))
+        assert delta["fluid_cells"] == 4
+        assert "4 cells on the fluid backend" in stats.summary()
 
     def test_checkpoint_roundtrip_with_planner_counters(self):
         # A checkpoint taken with planner counters present must zero the

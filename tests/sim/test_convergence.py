@@ -39,6 +39,7 @@ class TestConfig:
         assert config.describe() == {
             "check_interval": 1.0, "rel_tol": 0.02,
             "stable_checks": 3, "min_fraction": 0.3,
+            "scale_floor": 1e4,
         }
 
     @pytest.mark.parametrize("kwargs", [
@@ -47,6 +48,7 @@ class TestConfig:
         dict(stable_checks=1),
         dict(min_fraction=1.0),
         dict(min_fraction=-0.2),
+        dict(scale_floor=-1.0),
     ])
     def test_bad_values_rejected(self, kwargs):
         with pytest.raises(ValidationError):
@@ -108,6 +110,51 @@ class TestMonitor:
         sim.run(until=26.0)
         assert monitor.converged_at is not None
         assert monitor.converged_at >= 6.0 + 0.3 * 20.0
+
+    def test_arming_early_excludes_pre_window_bytes(self):
+        # Regression: arm() used to read its baseline immediately, so
+        # arming before the window opened folded every pre-window byte
+        # into the estimates (here a huge burst at t=3 that would make
+        # the cumulative rate decay and never settle).  The baseline
+        # must be read when the window opens, not when arm() is called.
+        sim = Simulator()
+        source = ByteSource(sim)
+        sim.schedule_at(3.0, source.deposit, 5e9)
+        source.feed_constant(rate=2e6, until=26.0)
+        monitor = GoodputConvergenceMonitor(
+            sim, lambda: source.bytes, ConvergenceConfig())
+        monitor.arm(start=6.0, horizon=26.0)  # armed at t=0, early
+        sim.run(until=26.0)
+        assert monitor.converged_at is not None
+        assert monitor.converged_at >= 6.0 + 0.3 * 20.0
+
+    def test_starved_jittery_goodput_converges_via_scale_floor(self):
+        # Regression: a fully starved window with stray retransmits
+        # (tens of bytes/s against a floor of 1e4 B/s) has spread > 0
+        # but mean ~ 0, so the purely relative criterion never fired
+        # and these cells -- the very ones early exit helps most -- ran
+        # to the horizon.
+        sim = Simulator()
+        source = ByteSource(sim)
+        for i, t in enumerate(range(1, 30, 2)):
+            sim.schedule_at(float(t), source.deposit, 40.0 + 15.0 * (i % 3))
+        monitor = GoodputConvergenceMonitor(
+            sim, lambda: source.bytes, ConvergenceConfig())
+        monitor.arm(start=0.0, horizon=30.0)
+        sim.run(until=30.0)
+        assert monitor.converged_at is not None
+        assert monitor.converged_at < 30.0
+        # The strictly relative criterion (floor disabled) never fires.
+        sim2 = Simulator()
+        source2 = ByteSource(sim2)
+        for i, t in enumerate(range(1, 30, 2)):
+            sim2.schedule_at(float(t), source2.deposit, 40.0 + 15.0 * (i % 3))
+        strict = GoodputConvergenceMonitor(
+            sim2, lambda: source2.bytes,
+            ConvergenceConfig(scale_floor=0.0))
+        strict.arm(start=0.0, horizon=30.0)
+        sim2.run(until=30.0)
+        assert strict.converged_at is None
 
     def test_too_short_window_never_checks(self):
         # If even the first check lands past the horizon, the monitor
