@@ -10,6 +10,7 @@ windows, fewer γ samples, a subset of flow-count panels) so the whole
 suite finishes in minutes.  Set ``REPRO_FULL=1`` for paper-scale runs.
 """
 
+import json
 import pathlib
 import time
 
@@ -72,12 +73,26 @@ def fresh_runner():
 
 @pytest.fixture
 def record_result():
-    """Print a rendered experiment and archive it under results/."""
+    """Print a rendered experiment and archive it under results/.
 
-    def _record(name: str, text: str) -> None:
+    Every call writes the human rendering to ``results/<name>.txt``
+    *and* a machine-readable ``results/<name>.json`` sibling, so the
+    perf trajectory is diffable across PRs without parsing the text.
+    The JSON always carries the bench name and rendering; benches with
+    structured numbers (events/sec, wall, speedup, gate) merge them in
+    via *data*.
+    """
+
+    def _record(name: str, text: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{text}\n[archived to benchmarks/results/{name}.txt]")
+        record = {"bench": name, "rendered": text}
+        if data is not None:
+            record.update(data)
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(record, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"\n{text}\n"
+              f"[archived to benchmarks/results/{name}.txt + {name}.json]")
 
     return _record
 

@@ -94,7 +94,11 @@ def test_bench_fluid_prepass(benchmark, record_result):
     rows.extend(sweep.summary() for sweep in prepass)
     rows.append(f"prepass runner: {stats.summary()}")
     rows.append(f"planner runner: {alone_runner.stats.summary()}")
-    record_result("fluid_prepass", "\n".join(rows))
+    record_result("fluid_prepass", "\n".join(rows), data={
+        "planner_wall": alone_wall, "prepass_wall": prepass_wall,
+        "speedup": speedup, "rep_walls": rep_walls,
+        "fluid_cells": stats.fluid_cells,
+    })
 
     # The pre-pass actually ran: fluid cells counted, packet work
     # shrank.  (The floor is each panel's stage-1 coarse half-grid;

@@ -3,8 +3,9 @@
 Replays the sim-core scenario twice -- once with the metrics registry
 disabled (the default), once collecting -- and compares the disabled
 run's events/sec against the archived ``results/sim_core.txt``
-trajectory.  The disabled path must stay within 5% of the archived
-number: observability must be free when nobody is watching.
+trajectory.  The disabled path must stay within 10% of the archived
+number (the same bar the sim-core trajectory itself uses):
+observability must be free when nobody is watching.
 
 The enabled run doubles as an end-to-end telemetry check (engine, link,
 and TCP families all populated, results bit-identical to the disabled
@@ -13,7 +14,7 @@ to upload as an artifact.
 
 CI runs this bench non-gating (continue-on-error): the archived
 baseline comes from whatever machine last regenerated it, so a slower
-runner can fail the 5% bar without a real regression.  Regenerate
+runner can fail the 10% bar without a real regression.  Regenerate
 ``sim_core.txt`` on the same machine for a meaningful comparison.
 """
 
@@ -26,8 +27,14 @@ from benchmarks.test_bench_sim_core import _run_sim_core, best_of
 from repro.obs import metrics
 
 #: Disabled-metrics throughput must stay within this fraction of the
-#: archived sim-core events/sec.
-TOLERANCE = 0.05
+#: archived sim-core events/sec.  10% matches the sim-core trajectory
+#: bar itself: single runs on a shared box swing that much between
+#: regenerating the archive and replaying it (best-of-3 readings of
+#: the identical scenario measured minutes apart span ~255-310k ev/s),
+#: so a tighter bound gates machine weather, not code.  The
+#: enabled-vs-disabled comparison below is same-process and stays far
+#: tighter in practice.
+TOLERANCE = 0.10
 
 
 def archived_events_per_sec() -> float:
@@ -77,7 +84,14 @@ def test_bench_obs_overhead(benchmark, record_result):
         f"peak calendar depth : {snapshot['engine.peak_calendar_depth']:.0f}\n"
         f"disabled rep walls  : {format_reps(disabled['rep_walls'])}\n"
         f"enabled rep walls   : {format_reps(enabled['rep_walls'])}"
-    ))
+    ), data={
+        "archived_events_per_sec": baseline,
+        "disabled_events_per_sec": disabled["events_per_sec"],
+        "enabled_events_per_sec": enabled["events_per_sec"],
+        "disabled_ratio": disabled_ratio,
+        "enabled_ratio": enabled_ratio,
+        "gate_tolerance": TOLERANCE,
+    })
 
     _write_run_log(disabled, enabled)
 

@@ -133,7 +133,10 @@ def test_bench_planner(benchmark, record_result):
     rows.extend(sweep.summary() for sweep in sweeps)
     rows.append(f"fast runner: {fast_runner.stats.summary()}")
     rows.append(f"exact runner: {exact_runner.stats.summary()}")
-    record_result("planner", "\n".join(rows))
+    record_result("planner", "\n".join(rows), data={
+        "exact_wall": exact_wall, "fast_wall": fast_wall,
+        "speedup": speedup, "rep_walls": rep_walls,
+    })
 
     # The planner actually adapted: the fluid pre-pass localized every
     # panel (FAST_POLICY ships with it, which is also why refinement

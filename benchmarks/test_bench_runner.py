@@ -62,7 +62,11 @@ def test_runner_parallel_and_cached(benchmark, record_result, tmp_path):
         f"{'cached':<12} {cached_wall:>7.2f}s "
         f"({serial_wall / max(cached_wall, 1e-9):.0f}x)",
     ]
-    record_result("runner", "\n".join(rows))
+    record_result("runner", "\n".join(rows), data={
+        "serial_wall": serial_wall, "parallel_wall": parallel_wall,
+        "cached_wall": cached_wall,
+        "cached_speedup": serial_wall / max(cached_wall, 1e-9),
+    })
 
     for other in (parallel, cached):
         assert [p.measured_degradation for p in other.points] == [

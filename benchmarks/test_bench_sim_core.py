@@ -81,7 +81,7 @@ def test_bench_sim_core(benchmark, record_result):
         f"bottleneck pkts : {stats['bottleneck_packets']}\n"
         f"attack pkts     : {stats['attack_packets']}\n"
         f"per-rep walls   : {format_reps(stats['rep_walls'])}"
-    ))
+    ), data=stats)
 
     # The scenario must be busy enough to be a meaningful measurement.
     assert stats["events"] > 100_000

@@ -70,7 +70,11 @@ def test_warm_start_speedup(benchmark, record_result):
         f"{'warm-start':<16} {warm_wall:>7.2f}s ({speedup:.2f}x)  "
         f"({format_reps(warm_reps)})",
     ]
-    record_result("warm_start", "\n".join(rows))
+    record_result("warm_start", "\n".join(rows), data={
+        "cold_wall": cold_wall, "cold_rep_walls": cold_reps,
+        "warm_wall": warm_wall, "warm_rep_walls": warm_reps,
+        "speedup": speedup, "gate_min_speedup": 1.2,
+    })
 
     assert warm_results == cold_results  # bit-identical, field for field
     assert speedup >= 1.2, (

@@ -27,6 +27,10 @@ prefix simulate it once and fork from a frozen snapshot;
 ``--no-warm-start`` re-simulates every warm-up instead.  Results are
 bit-identical regardless of job count, cache state, or warm-start mode.
 
+``--scheduler {auto,heap,calendar}`` selects the engine's event-scheduler
+backend for the invocation (sets ``REPRO_SCHEDULER``); dispatch is
+bit-identical across backends, so this is purely a performance knob.
+
 ``--profile`` wraps each experiment in :func:`repro.sim.profile.profile_run`
 and prints wall time, simulator events/sec, and the hottest functions
 after the rendering.  Profile the default serial mode (``--jobs 1``,
@@ -232,6 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
              "packet-level coarse grid instead",
     )
     parser.add_argument(
+        "--scheduler", choices=["auto", "heap", "calendar"], default=None,
+        help="event-scheduler backend for every simulator built during "
+             "the invocation (sets REPRO_SCHEDULER): 'heap' is the "
+             "binary-heap baseline, 'calendar' the calendar queue for "
+             "very deep pending sets, 'auto' (engine default) starts on "
+             "the heap and migrates past the measured crossover; "
+             "results are bit-identical across backends",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run each experiment under cProfile and print wall time, "
              "simulator events/sec, and the hottest functions (results "
@@ -400,6 +413,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_FAST"] = "1"
     if args.no_fluid:
         os.environ["REPRO_NO_FLUID"] = "1"
+    if args.scheduler is not None:
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
     from repro.runner import set_default_runner
     runner = _make_runner(args)
     set_default_runner(runner)

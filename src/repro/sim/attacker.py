@@ -9,7 +9,6 @@ source.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.attack import PulseTrain
@@ -90,13 +89,10 @@ class PulseAttackSource:
         self.node.send(packet)
         next_at = now + gap
         if next_at < end:
-            # Inlined sim.schedule_at (next_at > now by construction).
-            # The chain is never cancelled, so a bare heap entry -- no
-            # Event handle -- is enough.
-            heappush(
-                sim._heap,
-                [next_at, next(sim._counter), self._emit, (index, end, gap)],
-            )
+            # Direct backend push (next_at > now by construction).  The
+            # chain is never cancelled, so a transient entry -- no
+            # Event handle, recycled after firing -- is enough.
+            sim._push_transient(next_at, self._emit, (index, end, gap))
 
 
 class CBRSource:
@@ -148,5 +144,6 @@ class CBRSource:
         self.packets_emitted += 1
         self.bytes_emitted += size
         self.node.send(packet)
-        # Inlined sim.schedule_at; the chain is never cancelled.
-        heappush(sim._heap, [now + self._gap, next(sim._counter), self._emit, ()])
+        # Direct backend push; the chain is never cancelled, so the
+        # transient entry is recycled after firing.
+        sim._push_transient(now + self._gap, self._emit, ())

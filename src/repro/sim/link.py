@@ -19,10 +19,8 @@ Each link is unidirectional; duplex connectivity uses two links.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.sim.engine import Event
 from repro.sim.packet import Packet
 from repro.sim.queues import (
     DropTailQueue,
@@ -308,25 +306,20 @@ class Link:
             tx = self._tx_time[size] = size * 8.0 / self.rate_bps
         departure = start + tx
         self._busy_until = departure
-        # Inlined sim.schedule_at: the delivery time can never precede the
-        # clock (departure >= now and delay >= 0), so the past-check is
-        # statically satisfied and the entry goes straight onto the heap.
-        # Only buffer-tracking links need an Event handle (evict() must
-        # cancel in-flight deliveries); otherwise a bare list entry --
-        # same layout, no subclass construction -- is enough.
+        # Direct backend push: the delivery time can never precede the
+        # clock (departure >= now and delay >= 0), so schedule_at's
+        # past-check is statically satisfied and the entry goes straight
+        # onto the active calendar backend.  Only buffer-tracking links
+        # need an Event handle (evict() must cancel in-flight
+        # deliveries); every other delivery is a transient entry that
+        # the dispatch loop recycles through the backend's freelist.
         if self._track_buffer:
-            event = Event(
-                (departure + self.delay, next(sim._counter), self._deliver,
-                 (packet,)),
-            )
-            heappush(sim._heap, event)
+            event = sim._push_handle(
+                departure + self.delay, self._deliver, (packet,))
             departures.append(BufferedPacket(departure, size, packet, event))
         else:
-            heappush(
-                sim._heap,
-                [departure + self.delay, next(sim._counter), self._deliver,
-                 (packet,)],
-            )
+            sim._push_transient(
+                departure + self.delay, self._deliver, (packet,))
             departures.append((departure, size))
         queued = self._queued_bytes + size
         self._queued_bytes = queued

@@ -7,7 +7,9 @@ runners from :mod:`repro.experiments`) in :mod:`cProfile` and reports
 * events dispatched by every :class:`~repro.sim.engine.Simulator`
   constructed during the workload (via
   :func:`repro.sim.engine.total_events_dispatched`),
-* the resulting events/sec throughput, and
+* the resulting events/sec throughput,
+* which scheduler backends the workload's simulators used (via
+  :func:`repro.sim.engine.scheduler_builds`), and
 * the top functions by cumulative time.
 
 Profiling is observation only: the workload runs exactly once, with the
@@ -25,7 +27,7 @@ import pstats
 import time
 from typing import Any, Callable, Tuple
 
-from repro.sim.engine import total_events_dispatched
+from repro.sim.engine import scheduler_builds, total_events_dispatched
 
 __all__ = ["ProfileReport", "profile_run"]
 
@@ -39,6 +41,10 @@ class ProfileReport:
     events_executed: int
     calls_profiled: int
     top_functions: str
+    #: simulators built per scheduler backend during the workload
+    #: (``(("heap", 3), ("calendar", 1))``); auto-mode migrations count
+    #: toward "calendar" too, so the line names the structure that ran.
+    scheduler_builds: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def events_per_sec(self) -> float:
@@ -49,11 +55,15 @@ class ProfileReport:
 
     def render(self) -> str:
         """Human-readable report block."""
+        builds = ", ".join(
+            f"{name}={count}" for name, count in self.scheduler_builds
+        ) or "none"
         lines = [
             f"=== profile: {self.label} ===",
             f"wall time        : {self.wall_seconds:.3f} s",
             f"events executed  : {self.events_executed}",
             f"events/sec       : {self.events_per_sec:,.0f}",
+            f"scheduler builds : {builds}",
             f"calls profiled   : {self.calls_profiled}",
             "top functions by cumulative time:",
             self.top_functions.rstrip(),
@@ -75,6 +85,7 @@ def profile_run(
     the profile block after it).
     """
     events_before = total_events_dispatched()
+    builds_before = scheduler_builds()
     profiler = cProfile.Profile()
     started = time.perf_counter()
     profiler.enable()
@@ -84,6 +95,12 @@ def profile_run(
         profiler.disable()
     wall = time.perf_counter() - started
     events = total_events_dispatched() - events_before
+    builds_after = scheduler_builds()
+    builds = tuple(
+        (name, builds_after[name] - builds_before.get(name, 0))
+        for name in sorted(builds_after)
+        if builds_after[name] - builds_before.get(name, 0)
+    )
 
     stats_buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=stats_buffer)
@@ -95,5 +112,6 @@ def profile_run(
         events_executed=events,
         calls_profiled=int(stats.total_calls),
         top_functions=stats_buffer.getvalue(),
+        scheduler_builds=builds,
     )
     return result, report

@@ -158,6 +158,11 @@ class DumbbellConfig:
     tcp: TCPConfig = dataclasses.field(default_factory=TCPConfig)
     attacker_access_rate_bps: float = mbps(1000)
     seed: int = 1
+    #: scheduler backend for the engine ("heap"/"calendar"/"auto");
+    #: ``None`` defers to ``REPRO_SCHEDULER`` / the engine default.
+    #: ``compare=False``: backends dispatch bit-identically, so the
+    #: choice must not split the runner's result-cache keys.
+    scheduler: Optional[str] = dataclasses.field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_flows < 1:
@@ -184,7 +189,7 @@ class DumbbellNetwork:
 
     def __init__(self, config: DumbbellConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=config.scheduler)
         self.rng = random.Random(config.seed)
         # Fresh uid stream per scenario: identical reruns trace identically.
         Packet.reset_uids()

@@ -6,6 +6,12 @@ from repro.sim.engine import Simulator
 from repro.util.errors import SimulationError
 
 
+@pytest.fixture(params=["heap", "calendar"])
+def sim(request) -> Simulator:
+    """Every engine contract must hold on both scheduler backends."""
+    return Simulator(scheduler=request.param)
+
+
 class TestScheduling:
     def test_clock_starts_at_zero(self, sim):
         assert sim.now == 0.0
