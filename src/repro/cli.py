@@ -43,10 +43,22 @@ per-cell debug lines, ``-q`` for renderings only), and
 registry and appends one JSON-lines record per experiment -- engine,
 link, TCP, and runner telemetry plus timings and the git SHA -- to
 *PATH* (default ``runlog.jsonl``).  ``repro obs report LOG [LOG...]``
-renders a summary table from such logs.  Note: cells answered from the
+renders a summary table from such logs (or from stores; ``--sort``/
+``--last`` order and trim the rows).  Note: cells answered from the
 cache or executed in worker processes contribute runner metrics but no
 in-process engine/link/TCP metrics; run with ``--no-cache`` serially
 for a full simulation snapshot.
+
+``--store [PATH]`` additionally dual-writes an sqlite experiment store
+(default ``runlog.sqlite``): runs, experiments, per-cell rows keyed by
+the result cache's content-hash key, and scalar metrics --
+queryable afterwards with ``repro obs query`` (raw SQL or the canned
+``gamma-star``/``slowest-cells``/``cache-hits``/``drop-sync``
+queries).  ``--record`` also attaches the in-sim flight recorder
+(:mod:`repro.obs.recorder`) to every executed packet cell and stores
+its time series -- arrival rates, drops, queue depth, cwnd, recovery
+events -- for ``repro obs trace <cell> --export csv|npz``.  Both are
+passive: results stay bit-identical.
 """
 
 from __future__ import annotations
@@ -65,6 +77,11 @@ _log = logging.getLogger("repro.cli")
 
 #: where ``--metrics`` writes when no path is given.
 DEFAULT_RUNLOG = pathlib.Path("runlog.jsonl")
+
+#: where ``--store`` writes when no path is given (keep in sync with
+#: repro.obs.store.DEFAULT_STORE_NAME; not imported so ``--help`` stays
+#: fast).
+DEFAULT_STORE = pathlib.Path("runlog.sqlite")
 
 
 def _fig06():  # deferred imports keep `--help` fast
@@ -206,8 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Denial-of-Service Attacks' (Luo & Chang, DSN 2005)."
         ),
         epilog=(
-            "Run-log tooling: 'repro obs report LOG [LOG...]' renders a "
-            "summary table from JSON-lines run logs written by --metrics."
+            "Run-log tooling: 'repro obs report SRC [SRC...]' renders a "
+            "summary table from run logs (--metrics) or experiment "
+            "stores (--store); 'repro obs query' runs canned or raw SQL "
+            "queries against a store; 'repro obs trace' exports a "
+            "cell's recorded time series."
         ),
     )
     parser.add_argument(
@@ -282,6 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
              f"{DEFAULT_RUNLOG}); place the flag after the experiment "
              "name when omitting PATH",
     )
+    parser.add_argument(
+        "--store", type=pathlib.Path, nargs="?", const=DEFAULT_STORE,
+        default=None, metavar="PATH",
+        help="dual-write an sqlite experiment store to PATH (default: "
+             f"{DEFAULT_STORE}): runs, experiments, per-cell rows keyed "
+             "by the result-cache content hash, and metrics; query with "
+             "'repro obs query'",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="with --store, attach the in-sim flight recorder to every "
+             "executed packet cell and store its time series (arrival "
+             "rate, drops, queue depth, cwnd, recovery) for "
+             "'repro obs trace'; passive, results are bit-identical",
+    )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
         "-v", "--verbose", action="store_true",
@@ -330,14 +365,20 @@ def _make_runner(args):  # deferred import keeps `--help` fast
 
 
 def _run_one(name: str, output_dir, runner=None, profile=False,
-             writer=None) -> None:
+             writer=None, store=None) -> None:
     from repro.obs import metrics as obs_metrics
 
     started = time.time()
     mark = runner.stats.checkpoint() if runner is not None else None
     # A fresh registry per experiment: each run-log record then snapshots
     # exactly one experiment's telemetry, not the whole invocation's.
-    registry = obs_metrics.enable() if writer is not None else None
+    telemetry = writer is not None or store is not None
+    registry = obs_metrics.enable() if telemetry else None
+    if store is not None:
+        # The store's experiment row opens before any cell runs (cell
+        # rows attach to it) with the same timestamp the run-log record
+        # carries, keeping the two sources byte-equivalent.
+        store.begin_experiment(name, timestamp=started)
     try:
         if profile:
             from repro.sim.profile import profile_run
@@ -357,35 +398,216 @@ def _run_one(name: str, output_dir, runner=None, profile=False,
                   runner.stats.since(mark))
     else:
         _log.info("[%s: %.1fs]\n", name, elapsed)
+    delta = runner.stats.delta_snapshot(mark) if mark is not None else None
+    snapshot = registry.snapshot() if registry is not None else None
+    if store is not None:
+        store.finish_experiment(elapsed_seconds=elapsed, runner=delta,
+                                metrics=snapshot)
     if writer is not None:
         from repro.obs.runlog import base_record
 
         record = base_record("experiment", name)
+        record["timestamp"] = started  # start of the record, per schema
         record["elapsed_seconds"] = elapsed
-        if mark is not None:
-            record["runner"] = runner.stats.delta_snapshot(mark)
-        record["metrics"] = registry.snapshot()
+        if delta is not None:
+            record["runner"] = delta
+        record["metrics"] = snapshot
+        if store is not None:
+            record["store"] = str(store.path)
         writer.write(record)
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
         (output_dir / f"{name}.txt").write_text(text + "\n")
 
 
+def _render_table(names, rows) -> str:
+    """Fixed-width text table for query results (``None`` prints ``-``)."""
+    if not names:
+        return "(no results)"
+    text = [[("-" if v is None else str(v)) for v in row] for row in rows]
+    widths = [max([len(n)] + [len(row[i]) for row in text])
+              for i, n in enumerate(names)]
+    lines = ["  ".join(n.ljust(w) for n, w in zip(names, widths)).rstrip(),
+             "  ".join("-" * w for w in widths)]
+    for row in text:
+        lines.append("  ".join(v.ljust(w)
+                               for v, w in zip(row, widths)).rstrip())
+    lines.append(f"({len(rows)} row{'' if len(rows) == 1 else 's'})")
+    return "\n".join(lines)
+
+
+def _obs_query(args) -> int:
+    import sqlite3
+
+    from repro.obs.store import CANNED_QUERIES, open_readonly
+
+    try:
+        store = open_readonly(args.store)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    with store:
+        canned = CANNED_QUERIES.get(args.sql)
+        try:
+            if canned is not None:
+                names, rows = getattr(store, canned[0])()
+            else:
+                names, rows = store.query(args.sql)
+        except sqlite3.Error as exc:
+            print(f"query failed: {exc}", file=sys.stderr)
+            return 1
+        if args.limit is not None:
+            rows = rows[:args.limit]
+        print(_render_table(names, rows))
+    return 0
+
+
+def _resolve_cell(store, token: str):
+    """A ``cell_id`` from a numeric id or an unambiguous key prefix."""
+    if token.isdigit():
+        rows = store.query(
+            "SELECT cell_id FROM cells WHERE cell_id = ?", (int(token),))[1]
+        if rows:
+            return int(token), None
+        return None, f"no such cell_id: {token}"
+    matches = store.find_cells(token)
+    if not matches:
+        return None, f"no cell matches key prefix {token!r}"
+    if len(matches) > 1:
+        listing = "\n".join(
+            f"  {cid}  {key[:16]}...  {name} ({source})"
+            for cid, key, name, source in matches[:10])
+        return None, (f"key prefix {token!r} is ambiguous "
+                      f"({len(matches)} cells):\n{listing}")
+    return int(matches[0][0]), None
+
+
+def _obs_trace(args) -> int:
+    import numpy as np
+
+    from repro.obs.store import open_readonly
+
+    try:
+        store = open_readonly(args.store)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    with store:
+        cell_id, error = _resolve_cell(store, args.cell)
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+        series = store.fetch_series(cell_id, args.series)
+        if not series:
+            what = (f"series {args.series!r}" if args.series
+                    else "recorded series")
+            print(f"cell {cell_id} has no {what} "
+                  "(was the run made with --store --record?)",
+                  file=sys.stderr)
+            return 1
+        if args.export is None:
+            print(_render_table(
+                ["name", "rows", "evicted", "columns"],
+                [(s.name, s.n_rows, s.evicted, ",".join(s.columns))
+                 for s in series]))
+            return 0
+        path = args.output
+        if path is None:
+            path = pathlib.Path(f"cell-{cell_id}.{args.export}")
+        if args.export == "csv":
+            if len(series) > 1:
+                print("csv export needs exactly one series; pick one with "
+                      "--series from: "
+                      + ", ".join(s.name for s in series), file=sys.stderr)
+                return 1
+            item = series[0]
+            # %.17g round-trips float64 exactly, so an exported series
+            # re-parses bit-identical to the in-memory samples.
+            np.savetxt(path, item.data, delimiter=",", fmt="%.17g",
+                       header=",".join(item.columns), comments="")
+        else:
+            arrays = {}
+            for item in series:
+                arrays[item.name] = item.data
+                arrays[item.name + ".columns"] = np.array(item.columns)
+            np.savez(path, **arrays)
+        print(f"wrote {len(series)} series "
+              f"({sum(s.n_rows for s in series)} rows) -> {path}")
+    return 0
+
+
 def _obs_main(argv) -> int:
     """The ``repro obs ...`` tooling subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro obs",
-        description="Inspect JSON-lines run logs written by --metrics.",
+        description="Inspect run logs (--metrics) and experiment stores "
+                    "(--store).",
     )
     commands = parser.add_subparsers(dest="command", required=True)
     report = commands.add_parser(
-        "report", help="render a summary table from one or more run logs",
+        "report",
+        help="render a summary table from run logs and/or stores",
     )
     report.add_argument(
-        "logs", nargs="+", type=pathlib.Path,
-        help="run-log files (JSON lines, appended across invocations)",
+        "logs", nargs="+", type=pathlib.Path, metavar="SRC",
+        help="JSON-lines run logs or sqlite experiment stores; a log "
+             "whose records point at an existing store is upgraded to "
+             "the store",
+    )
+    report.add_argument(
+        "--sort", choices=("time", "name", "elapsed"), default="time",
+        help="row order: arrival time (default), name, or wall time "
+             "(most expensive first)",
+    )
+    report.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="keep only the N most recent records",
+    )
+    query = commands.add_parser(
+        "query", help="run a canned or raw SQL query against a store",
+    )
+    query.add_argument(
+        "sql",
+        help="canned query name (gamma-star, slowest-cells, cache-hits, "
+             "drop-sync) or a raw SQL statement",
+    )
+    query.add_argument(
+        "--store", type=pathlib.Path, default=DEFAULT_STORE, metavar="PATH",
+        help=f"experiment store to query (default: {DEFAULT_STORE})",
+    )
+    query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N result rows",
+    )
+    trace = commands.add_parser(
+        "trace", help="list or export a cell's recorded time series",
+    )
+    trace.add_argument(
+        "cell", help="cell_id or content-hash key prefix (see "
+                     "'repro obs query slowest-cells')",
+    )
+    trace.add_argument(
+        "--series", default=None, metavar="NAME",
+        help="series name (e.g. link.bottleneck.queue); default: all",
+    )
+    trace.add_argument(
+        "--export", choices=("csv", "npz"), default=None,
+        help="write the series to a file instead of listing them "
+             "(csv needs exactly one series)",
+    )
+    trace.add_argument(
+        "-o", "--output", type=pathlib.Path, default=None, metavar="PATH",
+        help="export path (default: cell-<id>.<ext>)",
+    )
+    trace.add_argument(
+        "--store", type=pathlib.Path, default=DEFAULT_STORE, metavar="PATH",
+        help=f"experiment store to read (default: {DEFAULT_STORE})",
     )
     args = parser.parse_args(argv)
+    if args.command == "query":
+        return _obs_query(args)
+    if args.command == "trace":
+        return _obs_trace(args)
     from repro.obs.report import render_report
 
     missing = [path for path in args.logs if not path.is_file()]
@@ -393,7 +615,7 @@ def _obs_main(argv) -> int:
         print("no such run log: " + ", ".join(str(p) for p in missing),
               file=sys.stderr)
         return 1
-    print(render_report(args.logs))
+    print(render_report(args.logs, sort=args.sort, last=args.last))
     return 0
 
 
@@ -415,6 +637,10 @@ def main(argv=None) -> int:
         os.environ["REPRO_NO_FLUID"] = "1"
     if args.scheduler is not None:
         os.environ["REPRO_SCHEDULER"] = args.scheduler
+    if args.record and args.store is None:
+        print("--record requires --store (it records into the store)",
+              file=sys.stderr)
+        return 2
     from repro.runner import set_default_runner
     runner = _make_runner(args)
     set_default_runner(runner)
@@ -422,15 +648,33 @@ def main(argv=None) -> int:
     if args.metrics is not None:
         from repro.obs.runlog import RunLogWriter
         writer = RunLogWriter(args.metrics)
+    store = None
+    if args.store is not None:
+        from repro.obs.runlog import git_sha
+        from repro.obs.store import ExperimentStore
+
+        store = ExperimentStore(args.store)
+        store.begin_run(
+            args.experiment, argv=argv, git_sha=git_sha(),
+            full=os.environ.get("REPRO_FULL", "0") not in ("", "0", "false",
+                                                           "no"),
+        )
+        runner.attach_store(store, record_series=args.record)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    run_started = time.time()
     try:
         for name in names:
             _run_one(name, args.output_dir, runner, profile=args.profile,
-                     writer=writer)
+                     writer=writer, store=store)
     finally:
         # Tear down the persistent worker pool once all experiments in
         # this invocation have drained it.
         runner.close()
+        if store is not None:
+            store.finish_run(elapsed_seconds=time.time() - run_started,
+                             runner=runner.stats.snapshot())
+            store.close()
+            _log.info("[experiment store -> %s]", store.path)
     _log.info("[total: %s]", runner.stats.summary())
     if writer is not None:
         from repro.obs.runlog import base_record
@@ -438,6 +682,8 @@ def main(argv=None) -> int:
         record = base_record("run", args.experiment)
         record["experiments"] = names
         record["runner"] = runner.stats.snapshot()
+        if store is not None:
+            record["store"] = str(store.path)
         writer.write(record)
         _log.info("[run log: %d records -> %s]",
                   writer.records_written, writer.path)

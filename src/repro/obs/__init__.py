@@ -6,6 +6,10 @@
 * :mod:`repro.obs.instrument` -- publishers that snapshot component
   counters (links, queues, TCP, runner) into the registry;
 * :mod:`repro.obs.runlog` -- the JSON-lines run-log writer/reader;
+* :mod:`repro.obs.store` -- the sqlite experiment store (queryable
+  runs/experiments/cells/metrics/series; ``repro obs query``/``trace``);
+* :mod:`repro.obs.recorder` -- the in-sim flight recorder (bounded
+  ring-buffer time-series capture, bit-identical when enabled);
 * :mod:`repro.obs.report` -- the ``repro obs report`` renderer.
 
 This ``__init__`` re-exports only :mod:`repro.obs.metrics` names: the

@@ -18,7 +18,9 @@ Schema (all fields optional except ``record``/``name``)::
      "full": false,                 # REPRO_FULL paper-scale mode
      "runner": {...},               # RunnerStats snapshot (see
                                     #  RunnerStats.snapshot())
-     "metrics": {...}}              # MetricsRegistry.snapshot()
+     "metrics": {...},              # MetricsRegistry.snapshot()
+     "store": "runlog.sqlite"}      # sibling sqlite experiment store
+                                    #  (when --store dual-writes one)
 
 The log is observational: nothing in it feeds back into experiments, so
 timestamps and durations do not perturb determinism.
@@ -26,6 +28,7 @@ timestamps and durations do not perturb determinism.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import pathlib
@@ -37,11 +40,15 @@ __all__ = ["RunLogWriter", "read_run_log", "iter_records", "git_sha",
            "base_record"]
 
 
+@functools.lru_cache(maxsize=1)
 def git_sha() -> Optional[str]:
     """The current checkout's short commit SHA, or ``None``.
 
     Best-effort provenance: any failure (no git binary, not a checkout,
-    timeout) degrades to ``None`` rather than raising.
+    timeout) degrades to ``None`` rather than raising.  Cached per
+    process (``git_sha.cache_clear()`` resets): the SHA cannot change
+    mid-run, and shelling out per record would perturb timing-sensitive
+    bench logs on large batches.
     """
     try:
         out = subprocess.run(

@@ -354,9 +354,32 @@ def _build_warm(cell: Cell):
     return net, detector
 
 
-def _measure_warmed(net, detector, cell: Cell) -> CellResult:
-    """Apply the cell's attack to a warmed network and measure."""
+def _make_recorder(cell: Cell, record: bool):
+    """A fresh :class:`~repro.obs.recorder.FlightRecorder`, or ``None``.
+
+    Fluid cells have no packet-level dynamics to record, so only packet
+    cells get one.  Imported lazily: the default (unrecorded) executor
+    never loads the obs recorder module.
+    """
+    if not record or cell.backend != "packet":
+        return None
+    from repro.obs.recorder import FlightRecorder
+
+    return FlightRecorder()
+
+
+def _measure_warmed(net, detector, cell: Cell, recorder=None) -> CellResult:
+    """Apply the cell's attack to a warmed network and measure.
+
+    An optional flight *recorder* is attached first -- purely passive
+    taps (link monitors, sender telemetry pointers, an engine post-run
+    hook), so the measured result is bit-identical with or without it.
+    Attachment happens here, after any warm-start fork, because taps
+    must never ride through a snapshot deep copy.
+    """
     before = net.aggregate_goodput_bytes()
+    if recorder is not None:
+        recorder.attach(net, horizon=cell.warmup + cell.window)
 
     attack_flow_ids: List[int] = []
     if cell.deployment is not None:
@@ -417,12 +440,17 @@ def _execute_fluid(cell: Cell) -> CellResult:
     return CellResult(goodput_bytes=result.goodput_bytes)
 
 
-def execute_cell(cell: Cell) -> CellResult:
-    """Run one measurement from scratch (pure: spec in, result out)."""
+def execute_cell(cell: Cell, recorder=None) -> CellResult:
+    """Run one measurement from scratch (pure: spec in, result out).
+
+    An optional :class:`~repro.obs.recorder.FlightRecorder` captures
+    the cell's in-sim time series (packet cells only); harvest it after
+    this returns.  The result is bit-identical either way.
+    """
     if cell.backend == "fluid":
         return _execute_fluid(cell)
     net, detector = _build_warm(cell)
-    return _measure_warmed(net, detector, cell)
+    return _measure_warmed(net, detector, cell, recorder=recorder)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -441,6 +469,11 @@ class GroupResult:
             re-simulating their warm-up.
         warmup_seconds_saved: *simulated* seconds avoided -- the sum of
             the forked cells' warm-up lengths.
+        series: one flight-recorder capture per cell (a tuple of
+            :class:`~repro.obs.recorder.Series`, or ``None`` when the
+            cell was not recorded).  Empty when recording was off --
+            the default -- so unrecorded group results pickle exactly
+            as before.
     """
 
     results: Tuple[CellResult, ...]
@@ -448,9 +481,11 @@ class GroupResult:
     warmup_sims: int
     warm_starts: int
     warmup_seconds_saved: float
+    series: Tuple[Optional[tuple], ...] = ()
 
 
-def execute_cell_group(cells: Sequence[Cell]) -> GroupResult:
+def execute_cell_group(cells: Sequence[Cell], *,
+                       record: bool = False) -> GroupResult:
     """Run cells sharing one warm-up prefix: simulate it once, fork the rest.
 
     All cells must agree on :func:`warmup_key` (enforced).  The prefix
@@ -458,6 +493,12 @@ def execute_cell_group(cells: Sequence[Cell]) -> GroupResult:
     (no copy), every later cell on a private
     :class:`~repro.sim.checkpoint.NetworkSnapshot` fork.  Results are
     bit-identical to calling :func:`execute_cell` per cell.
+
+    With ``record=True`` every packet cell gets a private flight
+    recorder whose harvested series ride back in
+    :attr:`GroupResult.series`.  Recorders attach only after the
+    snapshot fork (taps never leak between cells or into the frozen
+    prefix), so recorded results stay bit-identical to unrecorded ones.
     """
     if not cells:
         return GroupResult((), (), 0, 0, 0.0)
@@ -478,28 +519,40 @@ def execute_cell_group(cells: Sequence[Cell]) -> GroupResult:
             started = time.perf_counter()
             results.append(execute_cell(cell))
             elapsed.append(time.perf_counter() - started)
-        return GroupResult(tuple(results), tuple(elapsed), 0, 0, 0.0)
+        return GroupResult(tuple(results), tuple(elapsed), 0, 0, 0.0,
+                           series=(None,) * len(cells) if record else ())
+
+    def _harvest(recorder):
+        return None if recorder is None else recorder.harvest()
 
     started = time.perf_counter()
     net, detector = _build_warm(first)
     if len(cells) == 1:
-        result = _measure_warmed(net, detector, first)
+        recorder = _make_recorder(first, record)
+        result = _measure_warmed(net, detector, first, recorder=recorder)
         return GroupResult(
             (result,), (time.perf_counter() - started,), 1, 0, 0.0,
+            series=(_harvest(recorder),) if record else (),
         )
 
     from repro.sim.checkpoint import NetworkSnapshot
 
     # Freeze before measuring the first cell: its attack must not leak
     # into the forks.  The detector rides in the same deep copy so its
-    # monitor hooks stay aliased to the (copied) links.
+    # monitor hooks stay aliased to the (copied) links.  Flight
+    # recorders attach strictly after this freeze, for the same reason.
     snapshot = NetworkSnapshot(net, detector)
-    results = [_measure_warmed(net, detector, first)]
+    recorder = _make_recorder(first, record)
+    results = [_measure_warmed(net, detector, first, recorder=recorder)]
+    series = [_harvest(recorder)]
     elapsed = [time.perf_counter() - started]
     for cell in cells[1:]:
         forked = time.perf_counter()
         fork_net, (fork_detector,) = snapshot.fork()
-        results.append(_measure_warmed(fork_net, fork_detector, cell))
+        recorder = _make_recorder(cell, record)
+        results.append(_measure_warmed(fork_net, fork_detector, cell,
+                                       recorder=recorder))
+        series.append(_harvest(recorder))
         elapsed.append(time.perf_counter() - forked)
     return GroupResult(
         results=tuple(results),
@@ -507,4 +560,5 @@ def execute_cell_group(cells: Sequence[Cell]) -> GroupResult:
         warmup_sims=1,
         warm_starts=len(cells) - 1,
         warmup_seconds_saved=float(sum(cell.warmup for cell in cells[1:])),
+        series=tuple(series) if record else (),
     )

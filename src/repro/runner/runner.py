@@ -253,9 +253,16 @@ class RunnerStats:
 _ZERO_MARK = (0, 0, 0, 0.0, 0, 0, 0.0, 0, 0, 0, 0, 0.0, 0)
 
 
-def _execute_unit(cells: Tuple[Cell, ...]) -> GroupResult:
-    """Worker entry point: run one warm-up-sharing chunk of cells."""
-    return execute_cell_group(cells)
+def _execute_unit(cells: Tuple[Cell, ...],
+                  record: bool = False) -> GroupResult:
+    """Worker entry point: run one warm-up-sharing chunk of cells.
+
+    With *record* set each packet cell carries a flight recorder and
+    the returned :class:`GroupResult` ships the harvested series blobs
+    back by value -- workers never touch the sqlite store; the parent
+    process owns the only connection.
+    """
+    return execute_cell_group(cells, record=record)
 
 
 def _mp_context():
@@ -287,8 +294,27 @@ class ExperimentRunner:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.warm_start = warm_start
         self.stats = RunnerStats()
+        #: attached experiment store (sqlite), or None; see attach_store.
+        self.store = None
+        #: when True, executed packet cells carry a flight recorder and
+        #: their harvested series land in the store.
+        self.record_series = False
         self._memo: Dict[str, CellResult] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def attach_store(self, store, *, record_series: bool = False) -> None:
+        """Dual-write resolved cells into an experiment store.
+
+        Every cell a batch resolves -- executed, cache hit, or memo
+        hit -- gets one ``cells`` row (per distinct key per batch);
+        with *record_series* each *executed* packet cell additionally
+        carries a flight recorder whose harvested time series are
+        stored alongside.  The store connection lives in this (parent)
+        process only; worker processes return series by value.  Pass
+        ``store=None`` to detach.
+        """
+        self.store = store
+        self.record_series = bool(record_series) and store is not None
 
     # ------------------------------------------------------------------
     def measure(self, cell: Cell) -> CellResult:
@@ -320,6 +346,7 @@ class ExperimentRunner:
             if memo is not None:
                 results[key] = memo
                 self.stats.record(key, "memo")
+                self._record_store(key, cell, memo, "memo")
                 _log.debug("cell %s: memo hit", key[:12])
                 continue
             if self.cache is not None:
@@ -327,6 +354,7 @@ class ExperimentRunner:
                 if hit is not None:
                     results[key] = self._memo[key] = hit
                     self.stats.record(key, "cache")
+                    self._record_store(key, cell, hit, "cache")
                     _log.debug("cell %s: cache hit", key[:12])
                     continue
             pending[key] = cell
@@ -338,7 +366,8 @@ class ExperimentRunner:
             else:
                 for unit in units:
                     self._absorb_unit(unit, _execute_unit(
-                        tuple(cell for _key, cell in unit)), results)
+                        tuple(cell for _key, cell in unit),
+                        self.record_series), results)
         # Per-batch (never per-cell) telemetry refresh; a no-op without
         # an active registry.
         publish_runner(_obs_metrics.active(), self.stats.snapshot())
@@ -383,10 +412,11 @@ class ExperimentRunner:
                      group_result: GroupResult,
                      results: Dict[str, CellResult]) -> None:
         """Fold one executed unit into results, memo, cache, and stats."""
-        for (key, cell), result, elapsed in zip(
-            unit, group_result.results, group_result.elapsed,
+        series = group_result.series or (None,) * len(unit)
+        for (key, cell), result, elapsed, cell_series in zip(
+            unit, group_result.results, group_result.elapsed, series,
         ):
-            self._finish(key, cell, result, elapsed)
+            self._finish(key, cell, result, elapsed, cell_series)
             results[key] = result
         stats = self.stats
         stats.warmup_sims += group_result.warmup_sims
@@ -419,7 +449,8 @@ class ExperimentRunner:
         pool = self._get_pool()
         futures = {
             pool.submit(
-                _execute_unit, tuple(cell for _key, cell in unit)
+                _execute_unit, tuple(cell for _key, cell in unit),
+                self.record_series,
             ): unit
             for unit in units
         }
@@ -435,14 +466,22 @@ class ExperimentRunner:
         stats.parallel_busy_seconds += busy
         stats.parallel_worker_seconds += workers * wall
 
+    def _record_store(self, key: str, cell: Cell, result: CellResult,
+                      source: str, elapsed=None, series=None) -> None:
+        """One store row per resolved cell (no-op without a store)."""
+        if self.store is not None:
+            self.store.record_cell(key, cell, result, source=source,
+                                   elapsed=elapsed, series=series)
+
     def _finish(self, key: str, cell: Cell, result: CellResult,
-                elapsed: float) -> None:
+                elapsed: float, series=None) -> None:
         self._memo[key] = result
         if self.cache is not None:
             self.cache.put(key, result, meta={
                 "cell": cell.describe(), "elapsed": elapsed,
             })
         self.stats.record(key, "executed", elapsed)
+        self._record_store(key, cell, result, "executed", elapsed, series)
         if cell.backend == "fluid":
             self.stats.fluid_cells += 1
         if result.converged_at is not None:

@@ -658,6 +658,13 @@ class Simulator:
         self._migrations = 0
         self._running = False
         self._stopped = False
+        #: Observers called as ``hook(sim, executed)`` after each
+        #: :meth:`run` segment (the flight recorder's engine tap).
+        #: Purely passive -- hooks must not schedule events -- and
+        #: excluded from :meth:`state_digest`, so an attached hook
+        #: cannot change any simulation result.  Costs one truthiness
+        #: test per run() call when empty.
+        self.post_run_hooks: List[Callable[["Simulator", int], None]] = []
 
     # ------------------------------------------------------------------
     # clock
@@ -845,6 +852,10 @@ class Simulator:
             registry.counter("engine.sim_seconds").inc(
                 self._now - sim_started)
             registry.gauge("engine.peak_calendar_depth").track_max(peak_depth)
+        hooks = self.post_run_hooks
+        if hooks:
+            for hook in hooks:
+                hook(self, executed)
         return executed
 
     def _run_heap(self, horizon, budget, max_events, track):

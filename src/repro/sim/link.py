@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketKind
 from repro.sim.queues import (
     DropTailQueue,
     QueueDiscipline,
@@ -38,6 +38,8 @@ __all__ = ["Link", "LinkMonitor", "BufferedPacket"]
 
 #: Signature of a link monitor callback: (packet, time, accepted).
 LinkMonitor = Callable[[Packet, float, bool], None]
+
+_ATTACK = PacketKind.ATTACK
 
 
 class BufferedPacket:
@@ -89,7 +91,8 @@ class Link:
         "_departures", "_queued_bytes", "_busy_until", "_track_buffer",
         "_tx_time", "_fast_admit", "_red_admit", "bytes_sent",
         "packets_sent", "bytes_dropped", "packets_dropped",
-        "peak_queue_bytes", "monitors", "_deliver",
+        "peak_queue_bytes", "monitors", "arrival_tap", "drop_tap",
+        "_deliver",
     )
 
     def __init__(
@@ -143,6 +146,23 @@ class Link:
         #: Monitors invoked on every arrival at the link's ingress with
         #: ``(packet, time, accepted)``.  Used by rate/drop tracers.
         self.monitors: List[LinkMonitor] = []
+
+        #: Flight-recorder fast tap (see :mod:`repro.obs.recorder`):
+        #: when set, :meth:`send` feeds it one ``(time, queue_bytes,
+        #: queue_packets, signed_size)`` row per arrival, where the
+        #: size carries a negative sign for attack packets.  It must
+        #: be a C-level callable (``list.append``) fed number-only
+        #: tuples -- a Python callback per arrival costs more than the
+        #: recorder's whole overhead budget, and a tuple holding a
+        #: packet reference stays on the GC's scan list forever (the
+        #: cyclic collector untracks number-only tuples after one
+        #: survived collection).  ``None`` costs one pointer check.
+        self.arrival_tap: Optional[Callable] = None
+
+        #: Companion drop tap, fed ``(time, packet)`` per *dropped*
+        #: arrival only -- checked inside the drop branch, so it is
+        #: free on the accepted path.
+        self.drop_tap: Optional[Callable] = None
 
         #: cached bound method: every delivery dispatches to dst.receive.
         self._deliver = dst.receive
@@ -287,12 +307,24 @@ class Link:
                 state = QueueState(queued, len(departures), now, idle_since)
                 accepted = self.queue.admit(size, state)
 
+        tap = self.arrival_tap
+        if tap is not None:
+            # Flight-recorder row: `queued`/`departures` hold the
+            # post-expiry occupancy excluding this packet; the append
+            # mutates only the recorder's buffer, so digests are
+            # unchanged.
+            tap((now, queued, len(departures),
+                 -size if packet.kind is _ATTACK else size))
+
         monitors = self.monitors
         if monitors:
             for monitor in monitors:
                 monitor(packet, now, accepted)
 
         if not accepted:
+            drop_tap = self.drop_tap
+            if drop_tap is not None:
+                drop_tap((now, packet))
             self.bytes_dropped += size
             self.packets_dropped += 1
             return False

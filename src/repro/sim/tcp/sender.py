@@ -129,6 +129,15 @@ class TCPSender:
         self.cwnd_trace: List[Tuple[float, float]] = []
         #: (time, kind) for each recovery episode; kind in {"fr", "to"}.
         self.recovery_events: List[Tuple[float, str]] = []
+        #: Flight-recorder listener (``cwnd_append``/``on_recovery``),
+        #: or ``None``.  ``cwnd_append`` is a C-level callable
+        #: (``list.append``) fed ``(time, flow_id, cwnd)`` rows -- cwnd
+        #: changes happen per ACK, so the hot path avoids a Python
+        #: frame.  Purely observational -- excluded from
+        #: :meth:`state_digest` -- and costs one ``is None`` check per
+        #: cwnd change / recovery event when unset (the same
+        #: dual-dispatch discipline as the metrics registry).
+        self.telemetry = None
 
         node.register_agent(flow_id, self._receive)
 
@@ -393,7 +402,7 @@ class TCPSender:
             return
         b = self.config.aimd.decrease
         self.fast_retransmits += 1
-        self.recovery_events.append((self.sim.now, "fr"))
+        self._note_recovery("fr")
         self.ssthresh = max(b * self.cwnd, _MIN_SSTHRESH)
         self.cwnd = self.ssthresh
         self.in_fast_recovery = True
@@ -429,7 +438,7 @@ class TCPSender:
     def _enter_fast_retransmit(self) -> None:
         b = self.config.aimd.decrease
         self.fast_retransmits += 1
-        self.recovery_events.append((self.sim.now, "fr"))
+        self._note_recovery("fr")
         self.ssthresh = max(b * self.cwnd, _MIN_SSTHRESH)
         if self.config.variant is TCPVariant.TAHOE:
             self.cwnd = 1.0
@@ -470,7 +479,7 @@ class TCPSender:
             return  # spurious: everything was ACKed as the timer fired
         b = self.config.aimd.decrease
         self.timeouts += 1
-        self.recovery_events.append((self.sim.now, "to"))
+        self._note_recovery("to")
         self.ssthresh = max(b * self.cwnd, _MIN_SSTHRESH)
         self.cwnd = 1.0
         self.dupacks = 0
@@ -493,3 +502,15 @@ class TCPSender:
     def _record_cwnd(self) -> None:
         if self.trace_cwnd:
             self.cwnd_trace.append((self.sim.now, self.cwnd))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.cwnd_append((self.sim.now, self.flow_id, self.cwnd))
+
+    def _note_recovery(self, kind: str) -> None:
+        """Record a recovery entry ("fr"/"to"), sampled pre-decrease."""
+        self.recovery_events.append((self.sim.now, kind))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_recovery(self.flow_id, self.sim.now, kind,
+                                  self.cwnd, self.ssthresh,
+                                  self.rto_estimator.rto)

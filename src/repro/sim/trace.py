@@ -45,8 +45,11 @@ class RateMonitor:
         self.horizon = check_positive("horizon", horizon)
         self.count_dropped = count_dropped
         self.n_bins = int(math.ceil(horizon / bin_width))
-        self._total = np.zeros(self.n_bins)
-        self._attack = np.zeros(self.n_bins)
+        # Plain lists, not arrays: observe() runs per arrival on the
+        # link hot path, and a list element += is several times cheaper
+        # than a numpy scalar update.  The array views are built on read.
+        self._total = [0.0] * self.n_bins
+        self._attack = [0.0] * self.n_bins
 
     def observe(self, packet: Packet, now: float, accepted: bool) -> None:
         """Link-monitor callback."""
@@ -58,6 +61,30 @@ class RateMonitor:
             if packet.is_attack:
                 self._attack[index] += packet.size_bytes
 
+    def ingest(self, times, sizes, attack, accepted=None) -> None:
+        """Vectorized :meth:`observe` over per-arrival arrays.
+
+        The flight recorder's harvest path: it captures one flat row
+        per arrival in-sim and bins them all here afterwards.
+        ``np.add.at`` accumulates in element order, so the sums are
+        bit-identical to observing each arrival in sequence.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        attack = np.asarray(attack, dtype=bool)
+        if accepted is not None and not self.count_dropped:
+            keep = np.asarray(accepted, dtype=bool)
+            times, sizes, attack = times[keep], sizes[keep], attack[keep]
+        index = (times / self.bin_width).astype(np.int64)
+        ok = (index >= 0) & (index < self.n_bins)
+        total = np.array(self._total)
+        np.add.at(total, index[ok], sizes[ok])
+        self._total = total.tolist()
+        attacked = ok & attack
+        attack_total = np.array(self._attack)
+        np.add.at(attack_total, index[attacked], sizes[attacked])
+        self._attack = attack_total.tolist()
+
     # ------------------------------------------------------------------
     @property
     def times(self) -> np.ndarray:
@@ -67,21 +94,26 @@ class RateMonitor:
     @property
     def bytes_per_bin(self) -> np.ndarray:
         """Total bytes (attack + legitimate) per bin."""
-        return self._total.copy()
+        return np.array(self._total)
 
     @property
     def attack_bytes_per_bin(self) -> np.ndarray:
         """Attack bytes per bin."""
-        return self._attack.copy()
+        return np.array(self._attack)
 
     @property
     def legit_bytes_per_bin(self) -> np.ndarray:
         """Legitimate (non-attack) bytes per bin."""
-        return self._total - self._attack
+        return np.array(self._total) - np.array(self._attack)
 
     def rate_bps(self) -> np.ndarray:
         """Per-bin average arrival rate in bits per second."""
-        return self._total * 8.0 / self.bin_width
+        return np.array(self._total) * 8.0 / self.bin_width
+
+    def as_columns(self) -> np.ndarray:
+        """``(time, total_bytes, attack_bytes)`` rows (flight-recorder
+        harvest format; one row per bin)."""
+        return np.column_stack([self.times, self._total, self._attack])
 
 
 class DropMonitor:
@@ -115,6 +147,15 @@ class DropMonitor:
     @property
     def attack_drops(self) -> int:
         return self._attack_drops
+
+    def as_columns(self) -> np.ndarray:
+        """``(time, flow_id, is_attack)`` float rows (flight-recorder
+        harvest format; one row per dropped arrival)."""
+        if not self.records:
+            return np.empty((0, 3))
+        return np.array(
+            [(t, float(flow_id), float(is_attack))
+             for t, flow_id, is_attack in self.records], dtype=np.float64)
 
     def drop_times(self, *, legit_only: bool = False) -> np.ndarray:
         """Timestamps of drops, optionally restricted to legitimate flows."""

@@ -2,7 +2,14 @@
 
 import json
 
-from repro.obs.report import render_report, summarize_records
+import pytest
+
+from repro.obs.report import (
+    SORT_CHOICES,
+    render_report,
+    resolve_sources,
+    summarize_records,
+)
 
 
 def experiment_record(name="fig06", **overrides):
@@ -66,6 +73,117 @@ class TestSummarize:
         assert "64 cells" in text
 
 
+class TestSortAndLast:
+    def records(self):
+        return [
+            experiment_record("fig07", elapsed_seconds=5.0, timestamp=1.0),
+            experiment_record("fig06", elapsed_seconds=20.0, timestamp=2.0),
+            experiment_record("fig09", elapsed_seconds=1.0, timestamp=3.0),
+        ]
+
+    @staticmethod
+    def row_names(text):
+        return [line.split()[0] for line in text.splitlines()[2:-1]
+                if line and not line.startswith("(")]
+
+    def test_time_sort_keeps_append_order(self):
+        assert self.row_names(summarize_records(self.records())) == [
+            "fig07", "fig06", "fig09"]
+
+    def test_name_sort(self):
+        text = summarize_records(self.records(), sort="name")
+        assert self.row_names(text) == ["fig06", "fig07", "fig09"]
+
+    def test_elapsed_sort_puts_most_expensive_first(self):
+        text = summarize_records(self.records(), sort="elapsed")
+        assert self.row_names(text) == ["fig06", "fig07", "fig09"]
+
+    def test_elapsed_sort_puts_sparse_rows_last(self):
+        records = self.records() + [{"record": "experiment", "name": "zz"}]
+        text = summarize_records(records, sort="elapsed")
+        assert self.row_names(text)[-1] == "zz"
+
+    def test_last_keeps_most_recent_records(self):
+        text = summarize_records(self.records(), last=2)
+        assert self.row_names(text) == ["fig06", "fig09"]
+
+    def test_last_applies_before_sorting(self):
+        text = summarize_records(self.records(), sort="name", last=2)
+        assert self.row_names(text) == ["fig06", "fig09"]
+
+    def test_last_zero_keeps_nothing(self):
+        assert "(no experiment records)" in summarize_records(
+            self.records(), last=0)
+
+    def test_invalid_sort_and_last_rejected(self):
+        with pytest.raises(ValueError, match="sort"):
+            summarize_records([], sort="goodput")
+        with pytest.raises(ValueError, match="last"):
+            summarize_records([], last=-1)
+        assert set(SORT_CHOICES) == {"time", "name", "elapsed"}
+
+
+def store_with(tmp_path, names, store_name="runlog.sqlite"):
+    """A small store holding one experiment record per name."""
+    from repro.obs.store import ExperimentStore
+
+    store = ExperimentStore(tmp_path / store_name)
+    store.begin_run("all", git_sha="abc1234", timestamp=10.0)
+    for offset, name in enumerate(names):
+        store.begin_experiment(name, timestamp=20.0 + offset)
+        store.finish_experiment(
+            elapsed_seconds=1.0,
+            runner={"cells": 4, "hit_ratio": 0.5},
+            metrics={"engine.events_dispatched": 1000.0,
+                     "engine.wall_seconds": 0.5})
+    store.close()
+    return store.path
+
+
+class TestResolveSources:
+    def test_store_recognized_by_content(self, tmp_path):
+        path = store_with(tmp_path, ["fig06"], store_name="data.bin")
+        assert resolve_sources([path]) == [("store", path)]
+
+    def test_plain_log_stays_a_log(self, tmp_path):
+        log = tmp_path / "one.jsonl"
+        log.write_text(json.dumps(experiment_record("fig06")) + "\n")
+        assert resolve_sources([log]) == [("log", log)]
+
+    def test_log_upgraded_to_its_store(self, tmp_path):
+        store_path = store_with(tmp_path, ["fig06"])
+        log = tmp_path / "runlog.jsonl"
+        record = experiment_record("fig06", store=str(store_path))
+        log.write_text(json.dumps(record) + "\n")
+        assert resolve_sources([log]) == [("store", store_path)]
+
+    def test_mixed_log_not_upgraded(self, tmp_path):
+        # One record predates --store: upgrading would drop it, so the
+        # log keeps its JSONL view.
+        store_path = store_with(tmp_path, ["fig06"])
+        log = tmp_path / "runlog.jsonl"
+        log.write_text(
+            json.dumps(experiment_record("fig04")) + "\n"
+            + json.dumps(experiment_record("fig06",
+                                           store=str(store_path))) + "\n")
+        assert resolve_sources([log]) == [("log", log)]
+
+    def test_dangling_store_pointer_keeps_log(self, tmp_path):
+        log = tmp_path / "runlog.jsonl"
+        record = experiment_record("fig06",
+                                   store=str(tmp_path / "gone.sqlite"))
+        log.write_text(json.dumps(record) + "\n")
+        assert resolve_sources([log]) == [("log", log)]
+
+    def test_log_and_its_store_collapse_to_one_source(self, tmp_path):
+        store_path = store_with(tmp_path, ["fig06"])
+        log = tmp_path / "runlog.jsonl"
+        record = experiment_record("fig06", store=str(store_path))
+        log.write_text(json.dumps(record) + "\n")
+        assert resolve_sources([log, store_path]) == [
+            ("store", store_path)]
+
+
 class TestRenderReport:
     def test_merges_multiple_logs(self, tmp_path):
         first = tmp_path / "one.jsonl"
@@ -76,3 +194,40 @@ class TestRenderReport:
         assert "fig06" in text
         assert "fig07" in text
         assert str(first) in text
+
+    def test_renders_store_source(self, tmp_path):
+        path = store_with(tmp_path, ["fig06", "fig07"])
+        text = render_report([path])
+        assert f"{path} (store)" in text
+        assert "fig06" in text
+        assert "2 records" in text
+
+    def test_sort_and_last_forwarded(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        log.write_text(
+            json.dumps(experiment_record("zz", timestamp=1.0)) + "\n"
+            + json.dumps(experiment_record("aa", timestamp=2.0)) + "\n")
+        text = render_report([log], sort="name", last=1)
+        assert "1 records" in text
+        assert "aa" in text
+        assert "\nzz" not in text
+
+    def test_store_and_log_render_identical_rows(self, tmp_path):
+        # The store<->runlog equivalence, end to end through the
+        # renderer: the same run reported from either source gives the
+        # same table body.
+        from repro.obs.store import ExperimentStore
+        from repro.obs.runlog import RunLogWriter
+
+        store_path = store_with(tmp_path, ["fig06"])
+        with ExperimentStore(store_path) as store:
+            records = store.experiment_records()
+        log = tmp_path / "copy.jsonl"
+        writer = RunLogWriter(log)
+        for record in records:
+            record = dict(record)
+            record.pop("store")  # break the upgrade link on purpose
+            writer.write(record)
+        from_store = render_report([store_path]).splitlines()[1:]
+        from_log = render_report([log]).splitlines()[1:]
+        assert from_store == from_log

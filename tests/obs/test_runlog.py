@@ -1,6 +1,7 @@
 """The JSON-lines run-log writer and reader."""
 
 import json
+import threading
 
 from repro.obs.runlog import (
     RunLogWriter,
@@ -38,6 +39,30 @@ class TestWriter:
                                   "path": path})
         assert read_run_log(path)[0]["path"] == str(path)
 
+    def test_concurrent_appends_from_two_writers(self, tmp_path):
+        # Two invocations sharing one log: append-mode single-line
+        # writes keep every record intact and parseable.
+        path = tmp_path / "log.jsonl"
+        per_writer = 50
+
+        def append(tag):
+            writer = RunLogWriter(path)
+            for i in range(per_writer):
+                writer.write({"record": "experiment",
+                              "name": f"{tag}-{i}"})
+
+        threads = [threading.Thread(target=append, args=(tag,))
+                   for tag in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = read_run_log(path)
+        assert len(records) == 2 * per_writer
+        names = {r["name"] for r in records}
+        assert names == {f"{tag}-{i}" for tag in ("a", "b")
+                         for i in range(per_writer)}
+
 
 class TestReader:
     def test_skips_corrupt_and_blank_lines(self, tmp_path):
@@ -51,6 +76,15 @@ class TestReader:
         )
         records = read_run_log(path)
         assert [r["name"] for r in records] == ["ok", "also ok"]
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        # A run killed mid-write leaves a final line without newline;
+        # the reader keeps every completed record.
+        path = tmp_path / "log.jsonl"
+        RunLogWriter(path).write({"record": "experiment", "name": "done"})
+        with path.open("a") as handle:
+            handle.write('{"record": "experiment", "name": "to')
+        assert [r["name"] for r in read_run_log(path)] == ["done"]
 
 
 class TestProvenance:
@@ -67,3 +101,22 @@ class TestProvenance:
         # the function contract allows None only outside a checkout.
         sha = git_sha()
         assert sha is None or (isinstance(sha, str) and len(sha) >= 7)
+
+    def test_git_sha_cached_per_process(self, monkeypatch):
+        # One subprocess call per process: the cached value answers
+        # repeat calls even if git stops working mid-run.
+        import subprocess
+
+        git_sha.cache_clear()
+        try:
+            first = git_sha()
+
+            def boom(*args, **kwargs):
+                raise OSError("git gone")
+
+            monkeypatch.setattr(subprocess, "run", boom)
+            assert git_sha() == first      # served from the cache
+            git_sha.cache_clear()
+            assert git_sha() is None       # a cold call really shells out
+        finally:
+            git_sha.cache_clear()

@@ -177,6 +177,226 @@ class TestObsReport:
         assert "no such run log" in capsys.readouterr().err
 
 
+class TestStoreFlag:
+    def test_bare_store_flag_uses_default_path(self):
+        from repro.cli import DEFAULT_STORE
+
+        args = build_parser().parse_args(["fig04", "--store"])
+        assert args.store == DEFAULT_STORE
+        assert not args.record
+
+    def test_record_requires_store(self, capsys):
+        assert main(["fig04", "--record"]) == 2
+        assert "--record requires --store" in capsys.readouterr().err
+
+    def test_dual_writes_store_and_runlog(self, capsys, tmp_path):
+        from repro.obs.runlog import read_run_log
+        from repro.obs.store import is_store, open_readonly
+
+        db = tmp_path / "runlog.sqlite"
+        log = tmp_path / "runlog.jsonl"
+        assert main(["fig01", "--no-cache", "--store", str(db),
+                     "--metrics", str(log)]) == 0
+        assert is_store(db)
+        records = read_run_log(log)
+        assert all(r["store"] == str(db) for r in records)
+        with open_readonly(db) as store:
+            assert store.query("SELECT name FROM runs")[1] == [("fig01",)]
+            assert (store.query("SELECT name FROM experiments")[1]
+                    == [("fig01",)])
+            # The equivalence contract, via the real CLI: the store
+            # reconstructs the exact record the run log holds.
+            assert store.experiment_records() == [records[0]]
+
+    def test_recorded_cells_land_in_store(self, capsys, tmp_path):
+        # fig06 at smoke scale exercises the full path: runner cells,
+        # per-cell rows keyed by the cache key, recorded series.
+        from repro.experiments.fig06_09_gain import run_gain_figure
+        from repro.obs.store import ExperimentStore
+        from repro.runner import ExperimentRunner, set_default_runner
+        from repro.util.units import ms
+
+        db = tmp_path / "runlog.sqlite"
+        store = ExperimentStore(db)
+        store.begin_run("fig06")
+        store.begin_experiment("fig06")
+        previous = set_default_runner(None)
+        try:
+            runner = ExperimentRunner(jobs=1)
+            runner.attach_store(store, record_series=True)
+            set_default_runner(runner)
+            figure = run_gain_figure(6, flow_counts=[2],
+                                     extents=[ms(100)], gammas=(0.4, 0.7))
+        finally:
+            set_default_runner(previous)
+        store.finish_experiment()
+
+        names, cells = store.query(
+            "SELECT cell_id, gamma, source FROM cells ORDER BY cell_id")
+        assert cells  # one row per resolved cell
+        assert {c[2] for c in cells} <= {"executed", "cache", "memo"}
+        n_series = store.query("SELECT count(*) FROM series")[1][0][0]
+        assert n_series > 0
+
+        # gamma-star answers the figure's own peak-gamma question.
+        points = figure.all_curves()[0].points
+        best = max(points, key=lambda p: p.measured_gain)
+        names, rows = store.gamma_star()
+        row = dict(zip(names, rows[0]))
+        assert row["gamma_star"] == pytest.approx(best.gamma, abs=0.05)
+        store.close()
+
+        assert main(["obs", "query", "gamma-star", "--store",
+                     str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_star" in out
+        assert "fig06" in out
+
+
+class TestObsQuery:
+    @staticmethod
+    def small_store(tmp_path):
+        from repro.obs.store import ExperimentStore
+
+        db = tmp_path / "store.sqlite"
+        store = ExperimentStore(db)
+        store.begin_run("fig06")
+        store.begin_experiment("fig06")
+        store._db.execute(
+            "INSERT INTO cells (experiment_id, key, source, elapsed, spec,"
+            " backend, kind, n_flows, seed, goodput_bytes, goodput_rate)"
+            " VALUES (?, 'abcd1234', 'executed', 1.5, '{}', 'packet',"
+            " 'dumbbell', 2, 7, 100.0, 50.0)", (store._experiment_id,))
+        store._db.commit()
+        store.close()
+        return db
+
+    def test_raw_sql(self, capsys, tmp_path):
+        db = self.small_store(tmp_path)
+        assert main(["obs", "query",
+                     "SELECT key, n_flows FROM cells",
+                     "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "abcd1234" in out
+        assert "(1 row)" in out
+
+    def test_canned_query(self, capsys, tmp_path):
+        db = self.small_store(tmp_path)
+        assert main(["obs", "query", "cache-hits", "--store",
+                     str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
+        assert "executed" in out
+
+    def test_missing_store_fails(self, capsys, tmp_path):
+        assert main(["obs", "query", "cache-hits", "--store",
+                     str(tmp_path / "absent.sqlite")]) == 1
+        assert "no such experiment store" in capsys.readouterr().err
+
+    def test_bad_sql_fails_cleanly(self, capsys, tmp_path):
+        db = self.small_store(tmp_path)
+        assert main(["obs", "query", "SELECT nope FROM nowhere",
+                     "--store", str(db)]) == 1
+        assert "query failed" in capsys.readouterr().err
+
+    def test_limit_truncates_rows(self, capsys, tmp_path):
+        db = self.small_store(tmp_path)
+        assert main(["obs", "query", "SELECT * FROM cells", "--limit",
+                     "0", "--store", str(db)]) == 0
+        assert "(0 rows)" in capsys.readouterr().out
+
+
+class TestObsTrace:
+    @staticmethod
+    def recorded_store(tmp_path):
+        import numpy as np
+
+        from repro.obs.recorder import Series
+        from repro.obs.store import ExperimentStore
+
+        db = tmp_path / "store.sqlite"
+        store = ExperimentStore(db)
+        store.begin_run("fig06")
+        store.begin_experiment("fig06")
+        queue = Series("link.bottleneck.queue",
+                       ("time", "queue_bytes", "queue_packets"),
+                       np.array([[0.1, 1500.0, 1.0], [0.2, 3000.0, 2.0],
+                                 [0.3, 0.1 + 0.2, 0.0]]))
+        cwnd = Series("tcp.cwnd", ("time", "flow_id", "cwnd"),
+                      np.array([[0.1, 0.0, 2.0]]))
+        store._db.execute(
+            "INSERT INTO cells (experiment_id, key, source, spec, backend,"
+            " kind, n_flows, seed, goodput_bytes, goodput_rate)"
+            " VALUES (?, 'abcd1234', 'executed', '{}', 'packet',"
+            " 'dumbbell', 2, 7, 100.0, 50.0)", (store._experiment_id,))
+        cell_id = store._db.execute(
+            "SELECT max(cell_id) FROM cells").fetchone()[0]
+        import json as json_module
+        for series in (queue, cwnd):
+            store._db.execute(
+                "INSERT INTO series (cell_id, name, columns, n_rows,"
+                " evicted, rows) VALUES (?, ?, ?, ?, 0, ?)",
+                (cell_id, series.name,
+                 json_module.dumps(list(series.columns)), series.n_rows,
+                 series.data.tobytes()))
+        store._db.commit()
+        store.close()
+        return db, cell_id, queue
+
+    def test_lists_series_without_export(self, capsys, tmp_path):
+        db, cell_id, _ = self.recorded_store(tmp_path)
+        assert main(["obs", "trace", str(cell_id), "--store",
+                     str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "link.bottleneck.queue" in out
+        assert "tcp.cwnd" in out
+
+    def test_resolves_cell_by_key_prefix(self, capsys, tmp_path):
+        db, _, _ = self.recorded_store(tmp_path)
+        assert main(["obs", "trace", "abcd", "--store", str(db)]) == 0
+        assert "tcp.cwnd" in capsys.readouterr().out
+
+    def test_csv_export_round_trips_exactly(self, capsys, tmp_path):
+        import numpy as np
+
+        db, cell_id, queue = self.recorded_store(tmp_path)
+        out_path = tmp_path / "queue.csv"
+        assert main(["obs", "trace", str(cell_id),
+                     "--series", "link.bottleneck.queue",
+                     "--export", "csv", "-o", str(out_path),
+                     "--store", str(db)]) == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header == "time,queue_bytes,queue_packets"
+        parsed = np.loadtxt(out_path, delimiter=",", skiprows=1)
+        # %.17g preserves every float64 bit, 0.1+0.2 included.
+        assert np.array_equal(parsed, queue.data)
+
+    def test_npz_export_carries_all_series(self, capsys, tmp_path):
+        import numpy as np
+
+        db, cell_id, queue = self.recorded_store(tmp_path)
+        out_path = tmp_path / "trace.npz"
+        assert main(["obs", "trace", str(cell_id), "--export", "npz",
+                     "-o", str(out_path), "--store", str(db)]) == 0
+        archive = np.load(out_path)
+        assert np.array_equal(archive["link.bottleneck.queue"],
+                              queue.data)
+        assert list(archive["tcp.cwnd.columns"]) == [
+            "time", "flow_id", "cwnd"]
+
+    def test_csv_export_of_multiple_series_refused(self, capsys,
+                                                   tmp_path):
+        db, cell_id, _ = self.recorded_store(tmp_path)
+        assert main(["obs", "trace", str(cell_id), "--export", "csv",
+                     "--store", str(db)]) == 1
+        assert "exactly one series" in capsys.readouterr().err
+
+    def test_unknown_cell_fails(self, capsys, tmp_path):
+        db, _, _ = self.recorded_store(tmp_path)
+        assert main(["obs", "trace", "9999", "--store", str(db)]) == 1
+        assert "no such cell_id" in capsys.readouterr().err
+
+
 class TestFastAndJobsFlags:
     def test_fast_flag_parses_off_by_default(self):
         assert not build_parser().parse_args(["fig04"]).fast
