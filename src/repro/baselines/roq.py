@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.attack import PulseTrain
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.util.errors import ValidationError
 from repro.util.validate import check_positive
 
@@ -73,7 +74,7 @@ class RoQAttack:
     @classmethod
     def tuned_for_red(cls, *, rate_bps: float, bottleneck_bps: float,
                       w_q: float = 0.002,
-                      mean_pkt_bytes: float = 1500.0) -> "RoQAttack":
+                      mean_pkt_bytes: float = FULL_PACKET_BYTES) -> "RoQAttack":
         """Tune the pulse to RED's EWMA time constant.
 
         The averaged queue's step response has time constant

@@ -184,6 +184,11 @@ def _mice_elephants():
     return run_mice_elephants().render()
 
 
+def _multi_bottleneck():
+    from repro.experiments import run_multi_bottleneck
+    return run_multi_bottleneck().render()
+
+
 def _replication():
     from repro.experiments.replication import replicate_gain_sweep
     return replicate_gain_sweep().render()
@@ -208,6 +213,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "flow-damage": _flow_damage,
     "distributed": _distributed,
     "mice-elephants": _mice_elephants,
+    "multi-bottleneck": _multi_bottleneck,
     "detection": _detection,
     "defense-rto": _defense_rto,
     "defense-choke": _defense_choke,

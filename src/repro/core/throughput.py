@@ -25,6 +25,7 @@ import math
 from typing import List, Sequence
 
 from repro.core.attack import PulseTrain
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.tcp.params import AIMDParams
 from repro.util.errors import ValidationError
 from repro.util.validate import check_positive
@@ -60,7 +61,7 @@ class VictimPopulation:
     rtts: Sequence[float]
     aimd: AIMDParams = dataclasses.field(default_factory=AIMDParams.standard_tcp)
     delayed_ack: int = 1
-    s_packet: float = 1500.0
+    s_packet: float = FULL_PACKET_BYTES
 
     def __post_init__(self) -> None:
         if len(self.rtts) == 0:
@@ -143,7 +144,7 @@ def per_flow_attack_throughput_exact(
     rtt: float,
     n_pulses: int,
     w_initial: float,
-    s_packet: float = 1500.0,
+    s_packet: float = FULL_PACKET_BYTES,
 ) -> float:
     """Proposition 1: one victim flow's throughput in bytes over N pulses.
 

@@ -18,6 +18,7 @@ ablation_victim           victim TCP variant (Tahoe/Reno/NewReno/SACK) resilienc
 flow_damage               per-flow damage distribution + Jain fairness
 distributed_attack        single vs multi-source (DDoS) deployments of one attack
 mice_elephants            short-flow (mice) FCT damage vs elephant goodput
+multi_bottleneck          gamma* on parking-lot / N-bottleneck chain topologies
 detection_evasion         Section-1 evasion claims, quantified
 defenses                  randomized-RTO [7] and CHOKe RED-hardening evaluations
 replication               multi-seed sweeps with confidence intervals
@@ -34,6 +35,11 @@ from repro.experiments.flow_damage import FlowDamageReport, run_flow_damage
 from repro.experiments.mice_elephants import (
     MiceElephantsResult,
     run_mice_elephants,
+)
+from repro.experiments.multi_bottleneck import (
+    MultiBottleneckResult,
+    ParkingLotPlatform,
+    run_multi_bottleneck,
 )
 from repro.experiments.base import (
     DumbbellPlatform,
@@ -82,6 +88,8 @@ __all__ = [
     "GainPoint",
     "MiceElephantsResult",
     "ModelAblation",
+    "MultiBottleneckResult",
+    "ParkingLotPlatform",
     "PatternResult",
     "QueueAblation",
     "RTODefenseResult",
@@ -114,6 +122,7 @@ __all__ = [
     "run_gain_sweep",
     "run_mice_elephants",
     "run_model_ablation",
+    "run_multi_bottleneck",
     "run_queue_ablation",
     "run_rto_randomization",
     "run_victim_ablation",

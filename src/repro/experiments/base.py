@@ -32,6 +32,7 @@ from repro.core.gain import attack_gain
 from repro.core.shrew import flag_shrew_points, ShrewPoint
 from repro.core.throughput import VictimPopulation, c_psi
 from repro.runner import Cell, ExperimentRunner, PlatformSpec, get_default_runner
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.tcp import TCPConfig, TCPVariant
 from repro.sim.topology import QUEUE_FACTORIES, DumbbellConfig
 from repro.testbed.dummynet import TestbedConfig
@@ -144,7 +145,7 @@ class DumbbellPlatform(_SweepPlatform):
         return VictimPopulation(
             rtts=self._config.flow_rtts(),
             delayed_ack=self.tcp.delayed_ack,
-            s_packet=1500.0,
+            s_packet=FULL_PACKET_BYTES,
         )
 
 
@@ -178,7 +179,7 @@ class TestbedPlatform(_SweepPlatform):
         return VictimPopulation(
             rtts=self._config.rtt() * np.ones(self.n_flows),
             delayed_ack=self._config.tcp.delayed_ack,
-            s_packet=1500.0,
+            s_packet=FULL_PACKET_BYTES,
         )
 
 

@@ -19,6 +19,7 @@ from repro.core.throughput import (
     pulses_to_converge,
     window_after_pulses,
 )
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.tcp import AIMDParams, TCPConfig, TCPVariant
 from repro.sim.topology import DumbbellConfig, build_dumbbell
 from repro.util.units import mbps, ms
@@ -84,7 +85,7 @@ def run_fig01(
     # overflows it and induces the per-epoch loss the schematic assumes.
     config = DumbbellConfig(
         n_flows=1, rtt_min=rtt, rtt_max=rtt, tcp=tcp, seed=3,
-        buffer_bytes=60 * 1500.0,
+        buffer_bytes=60 * FULL_PACKET_BYTES,
     )
     net = build_dumbbell(config)
     sender = net.senders[0]

@@ -20,8 +20,8 @@ from typing import Iterable, Mapping, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["publish_links", "publish_tcp", "publish_network",
-           "publish_runner"]
+__all__ = ["publish_links", "publish_tcp", "publish_nodes",
+           "publish_network", "publish_runner"]
 
 
 def publish_links(registry: MetricsRegistry,
@@ -69,16 +69,37 @@ def publish_tcp(registry: MetricsRegistry, senders: Iterable) -> None:
         registry.gauge("tcp.cwnd_mean").set(sum(cwnds) / len(cwnds))
 
 
+def publish_nodes(registry: MetricsRegistry, nodes: Iterable) -> None:
+    """Publish node-level drop telemetry as ``node.*`` gauges.
+
+    ``undeliverable`` drops (packets that arrived with no route or no
+    agent) used to be a silent per-node counter; here they surface in
+    ``repro obs report`` as an aggregate plus one per-node gauge for
+    each node that actually dropped something (per-node gauges for
+    thousands of clean hosts would drown the report).
+    """
+    total = 0.0
+    for node in nodes:
+        dropped = float(node.undeliverable)
+        total += dropped
+        if dropped:
+            registry.gauge(
+                f"node.{node.name}.undeliverable_packets").set(dropped)
+    registry.gauge("node.undeliverable_packets").set(total)
+
+
 def publish_network(registry: MetricsRegistry, *,
                     links: Mapping[str, object],
-                    senders: Iterable) -> None:
-    """Publish one network's link and TCP telemetry in one call.
+                    senders: Iterable,
+                    nodes: Iterable = ()) -> None:
+    """Publish one network's link, TCP, and node telemetry in one call.
 
     The dumbbell and test-bed networks call this from ``run()`` whenever
     a registry is active -- once per run segment, never per event.
     """
     publish_links(registry, links)
     publish_tcp(registry, senders)
+    publish_nodes(registry, nodes)
 
 
 def publish_runner(registry: Optional[MetricsRegistry],

@@ -29,7 +29,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.attack import PulseTrain
 from repro.sim.convergence import ConvergenceConfig, GoodputConvergenceMonitor
 from repro.sim.tcp import TCPConfig
-from repro.sim.topology import QUEUE_FACTORIES, DumbbellConfig, build_dumbbell
+from repro.sim.topology import (
+    QUEUE_FACTORIES,
+    DumbbellConfig,
+    ParkingLotConfig,
+    build_dumbbell,
+    build_parking_lot,
+)
 from repro.testbed.dummynet import TestbedConfig, build_testbed
 from repro.util.errors import ValidationError
 from repro.util.validate import check_non_negative, check_positive
@@ -62,15 +68,24 @@ class PlatformSpec:
     """A serializable description of one measurement environment.
 
     Attributes:
-        kind: ``"dumbbell"`` (the ns-2-style topology of Figs. 6-10) or
-            ``"testbed"`` (the Dummynet emulation of Fig. 12).
-        n_flows: victim TCP flow count.
+        kind: ``"dumbbell"`` (the ns-2-style topology of Figs. 6-10),
+            ``"testbed"`` (the Dummynet emulation of Fig. 12), or
+            ``"parking_lot"`` (the N-bottleneck chain of the
+            multi-bottleneck experiment).
+        n_flows: victim TCP flow count (the *long* flows on the
+            parking lot).
         seed: the scenario seed (flow-start jitter, RED coin flips).
-        queue: bottleneck discipline name (dumbbell only); one of
-            :data:`repro.sim.topology.QUEUE_FACTORIES`.
+        queue: bottleneck discipline name (dumbbell / parking lot);
+            one of :data:`repro.sim.topology.QUEUE_FACTORIES`.
         use_red: RED vs drop-tail pipe (testbed only).
         tcp: the victim stack; ``None`` selects the platform's stock
             configuration.
+        extra: additional :class:`~repro.sim.topology.ParkingLotConfig`
+            fields as a tuple of ``(name, value)`` pairs (parking lot
+            only) -- e.g. ``(("n_segments", 3), ("attack_segments",
+            (0, 1)))``.  A tuple rather than a dict keeps the spec
+            hashable; ``None`` (the default) keeps dumbbell/testbed
+            specs byte-identical to their historical cache identity.
     """
 
     kind: str
@@ -79,21 +94,35 @@ class PlatformSpec:
     queue: str = "red"
     use_red: bool = True
     tcp: Optional[TCPConfig] = None
+    extra: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("dumbbell", "testbed"):
+        if self.kind not in ("dumbbell", "testbed", "parking_lot"):
             raise ValidationError(
-                f"kind must be 'dumbbell' or 'testbed', got {self.kind!r}"
+                f"kind must be 'dumbbell', 'testbed', or 'parking_lot', "
+                f"got {self.kind!r}"
             )
-        if self.kind == "dumbbell" and self.queue not in QUEUE_FACTORIES:
+        if self.kind != "testbed" and self.queue not in QUEUE_FACTORIES:
             raise ValidationError(
                 f"queue must be one of {sorted(QUEUE_FACTORIES)}, "
                 f"got {self.queue!r}"
+            )
+        if self.extra is not None and self.kind != "parking_lot":
+            raise ValidationError(
+                "extra platform fields apply to the parking lot only"
             )
         if self.n_flows < 1:
             raise ValidationError(f"n_flows must be >= 1, got {self.n_flows}")
 
     # ------------------------------------------------------------------
+    def _extra_kwargs(self) -> dict:
+        """``extra`` as keyword arguments (sequence fields re-tupled)."""
+        kwargs = dict(self.extra or ())
+        for key in ("attack_segments", "segment_rates_bps"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return kwargs
+
     def to_config(self):
         """The platform's config dataclass (frozen, picklable)."""
         if self.kind == "dumbbell":
@@ -102,6 +131,14 @@ class PlatformSpec:
                 queue_factory=QUEUE_FACTORIES[self.queue],
                 tcp=self.tcp if self.tcp is not None else TCPConfig(),
                 seed=self.seed,
+            )
+        if self.kind == "parking_lot":
+            return ParkingLotConfig(
+                long_flows=self.n_flows,
+                queue_factory=QUEUE_FACTORIES[self.queue],
+                tcp=self.tcp if self.tcp is not None else TCPConfig(),
+                seed=self.seed,
+                **self._extra_kwargs(),
             )
         config = TestbedConfig(
             n_flows=self.n_flows, use_red=self.use_red, seed=self.seed,
@@ -114,6 +151,8 @@ class PlatformSpec:
         """A freshly built, unstarted network for this spec."""
         if self.kind == "dumbbell":
             return build_dumbbell(self.to_config())
+        if self.kind == "parking_lot":
+            return build_parking_lot(self.to_config())
         return build_testbed(self.to_config())
 
     def describe(self) -> dict:
@@ -126,6 +165,12 @@ class PlatformSpec:
         }
         if self.kind == "dumbbell":
             payload["queue"] = self.queue
+        elif self.kind == "parking_lot":
+            payload["queue"] = self.queue
+            payload["extra"] = [
+                [name, list(value) if isinstance(value, tuple) else value]
+                for name, value in (self.extra or ())
+            ]
         else:
             payload["use_red"] = self.use_red
         return payload
@@ -231,6 +276,11 @@ class Cell:
         if self.backend not in ("packet", "fluid"):
             raise ValidationError(
                 f"backend must be 'packet' or 'fluid', got {self.backend!r}"
+            )
+        if self.backend == "fluid" and self.platform.kind == "parking_lot":
+            raise ValidationError(
+                "the fluid model covers single-bottleneck platforms; "
+                "parking-lot cells run on the packet backend"
             )
         if self.backend == "fluid" and self.rate_floor_bps is not None:
             raise ValidationError(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.attack import PulseTrain
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.packet import Packet, PacketKind
 from repro.util.validate import check_non_negative, check_positive
 
@@ -38,7 +39,7 @@ class PulseAttackSource:
         dst_node_id: int,
         train: PulseTrain,
         *,
-        packet_bytes: float = 1500.0,
+        packet_bytes: float = FULL_PACKET_BYTES,
         start_time: float = 0.0,
     ) -> None:
         self.sim = sim

@@ -60,6 +60,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.tcp import TCPConfig
 from repro.util.errors import ValidationError
 from repro.util.validate import check_non_negative, check_positive
@@ -67,8 +68,9 @@ from repro.util.validate import check_non_negative, check_positive
 __all__ = ["FluidScenario", "FluidResult", "scenario_from_config",
            "simulate_fluid"]
 
-#: Wire size of a full data segment (MSS 1460 + 40 B of headers).
-WIRE_BYTES = 1500.0
+#: Wire size of a full data segment -- the shared constant, aliased
+#: under the fluid model's historical name.
+WIRE_BYTES = FULL_PACKET_BYTES
 
 #: Default integration step cap, seconds.  Pulse edges, the window
 #: opening, and RTO expiries always break a step exactly; the cap only

@@ -6,20 +6,60 @@ holds a routing table mapping destination node id to the outgoing
 (TCP senders/receivers, attack sources) keyed by flow id; a packet whose
 ``dst`` equals the node id is delivered to the agent registered for its
 flow.
+
+Two forwarding planes share the same routing state:
+
+* the **dict plane** (the historical path): each hop probes
+  ``_routes[dst]`` then ``_links[next_hop]``;
+* the **compiled plane** (default): routes are compiled into a dense
+  list ``_next_send`` indexed by destination node id whose entries are
+  the *bound* ``Link.send`` of the outgoing interface, so a hop is one
+  indexed load and one call.  Hosts with a single outgoing interface
+  use an O(1) *default route* instead of a dense table (a 10k-host
+  scenario must not hold 10k tables of 20k entries each).
+
+Both planes make identical forwarding decisions and maintain identical
+statistics, so simulations are bit-identical across them.  Selection:
+``REPRO_FORWARDING=compiled|dict`` (or an explicit ``compiled=``
+argument / scenario-config field); see :mod:`repro.sim.routing`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, TYPE_CHECKING
+import os
+from typing import Callable, Dict, List, Mapping, Optional, TYPE_CHECKING
 
 from repro.sim.packet import Packet
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.sim.link import Link
 
-__all__ = ["Node"]
+__all__ = ["Node", "forwarding_default", "FORWARDING_MODES"]
+
+#: Recognized forwarding-plane names.
+FORWARDING_MODES = ("compiled", "dict")
+
+
+def forwarding_default() -> str:
+    """The process-default forwarding plane.
+
+    ``REPRO_FORWARDING=compiled|dict`` overrides; unset selects the
+    compiled plane.  Both planes are bit-identical, so the choice is a
+    pure performance knob (the dict plane exists as the A/B baseline
+    for the forwarding benchmark).
+    """
+    value = os.environ.get("REPRO_FORWARDING")
+    if value is None or not value.strip():
+        return "compiled"
+    mode = value.strip().lower()
+    if mode not in FORWARDING_MODES:
+        raise ValidationError(
+            f"REPRO_FORWARDING must be one of {FORWARDING_MODES}, "
+            f"got {value!r}"
+        )
+    return mode
 
 
 class Node:
@@ -31,10 +71,12 @@ class Node:
 
     __slots__ = (
         "sim", "node_id", "name", "_links", "_routes", "_agents",
-        "undeliverable",
+        "undeliverable", "_compiled", "_next_send", "_default_hop",
+        "_default_send",
     )
 
-    def __init__(self, sim: "Simulator", node_id: int, name: str = "") -> None:
+    def __init__(self, sim: "Simulator", node_id: int, name: str = "",
+                 *, compiled: Optional[bool] = None) -> None:
         self.sim = sim
         self.node_id = node_id
         self.name = name or f"n{node_id}"
@@ -44,8 +86,21 @@ class Node:
         self._routes: Dict[int, int] = {}
         #: flow id -> receive callback for locally terminated packets.
         self._agents: Dict[int, Callable[[Packet], None]] = {}
-        #: packets that arrived with no registered agent (trace aid).
+        #: packets that arrived with no registered agent or route.
         self.undeliverable = 0
+        #: compiled forwarding plane active for this node.
+        self._compiled = (
+            forwarding_default() == "compiled" if compiled is None
+            else bool(compiled)
+        )
+        #: dense dst-id-indexed table of bound ``Link.send`` callables
+        #: (``None`` entries mean "no specific route").  Mirrors
+        #: ``_routes``; maintained by :meth:`add_route`/:meth:`attach_link`.
+        self._next_send: List[Optional[Callable[[Packet], bool]]] = []
+        #: fallback next hop for destinations absent from the table
+        #: (typical for single-homed hosts); ``None`` means unroutable.
+        self._default_hop: Optional[int] = None
+        self._default_send: Optional[Callable[[Packet], bool]] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -57,23 +112,74 @@ class Node:
         """
         self._links[neighbor_id] = link
         # A neighbor is trivially routable via the direct link.
-        self._routes.setdefault(neighbor_id, neighbor_id)
+        if neighbor_id not in self._routes:
+            self._routes[neighbor_id] = neighbor_id
+            self._table_set(neighbor_id, link)
 
     def add_route(self, dst_id: int, next_hop_id: int) -> None:
         """Route packets for *dst_id* via the link to *next_hop_id*."""
-        if next_hop_id not in self._links:
+        link = self._links.get(next_hop_id)
+        if link is None:
             raise ConfigurationError(
                 f"{self.name}: no link toward next hop n{next_hop_id}"
             )
         self._routes[dst_id] = next_hop_id
+        self._table_set(dst_id, link)
+
+    def set_default_route(self, next_hop_id: int) -> None:
+        """Route destinations with no specific table entry via *next_hop_id*.
+
+        The O(1) routing state for single-homed hosts: a leaf behind one
+        access link forwards everything through it, so it needs no
+        per-destination entries at all.  Explicit opt-in -- a node
+        without a default still counts unroutable packets in
+        :attr:`undeliverable`.
+        """
+        link = self._links.get(next_hop_id)
+        if link is None:
+            raise ConfigurationError(
+                f"{self.name}: no link toward next hop n{next_hop_id}"
+            )
+        self._default_hop = next_hop_id
+        self._default_send = link.send
+
+    def _table_set(self, dst_id: int, link: "Link") -> None:
+        """Mirror one route into the dense compiled table."""
+        table = self._next_send
+        if dst_id >= len(table):
+            table.extend([None] * (dst_id + 1 - len(table)))
+        table[dst_id] = link.send
 
     def register_agent(self, flow_id: int, deliver: Callable[[Packet], None]) -> None:
-        """Deliver locally terminated packets of *flow_id* to *deliver*."""
+        """Deliver locally terminated packets of *flow_id* to *deliver*.
+
+        Agents must be registered before traffic toward them is in
+        flight: the compiled plane resolves the agent when the packet
+        enters its final link, not at delivery time.  Every scenario
+        builder registers agents at flow-creation time, before the
+        flow's first transmission, so both planes see the same agent.
+        """
         if flow_id in self._agents:
             raise ConfigurationError(
                 f"{self.name}: flow {flow_id} already has an agent"
             )
         self._agents[flow_id] = deliver
+
+    def register_agents(
+        self, agents: Mapping[int, Callable[[Packet], None]],
+    ) -> None:
+        """Bulk-register agents (one dict merge, not one call per flow).
+
+        Used by vectorized scenario setup; duplicate flow ids raise,
+        matching :meth:`register_agent`.
+        """
+        existing = self._agents
+        duplicates = existing.keys() & agents.keys()
+        if duplicates:
+            raise ConfigurationError(
+                f"{self.name}: flows {sorted(duplicates)} already have agents"
+            )
+        existing.update(agents)
 
     def link_to(self, neighbor_id: int) -> "Link":
         """The direct link toward *neighbor_id* (raises if absent)."""
@@ -87,23 +193,59 @@ class Node:
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
+    def _outbound(self, dst_id: int) -> Optional["Link"]:
+        """The outgoing link toward *dst_id*, or ``None`` if unroutable.
+
+        The one shared route-lookup implementation: :meth:`forward` and
+        :meth:`send` delegate here, :meth:`receive` (and the compiled
+        plane's resolve-at-send path in :meth:`Link.send
+        <repro.sim.link.Link.send>`) inline exactly this decision
+        procedure -- specific route first, default route as fallback.
+        """
+        next_hop = self._routes.get(dst_id)
+        if next_hop is None:
+            next_hop = self._default_hop
+            if next_hop is None:
+                return None
+        return self._links[next_hop]
+
+    def _drop_undeliverable(self, _packet: Packet) -> None:
+        """Terminal for unroutable/agent-less packets (either plane)."""
+        self.undeliverable += 1
+
     def receive(self, packet: Packet) -> None:
         """Entry point for packets arriving from a link (or locally injected).
 
-        Every hop dispatches through here, so the forwarding lookup is
-        inlined rather than delegated to :meth:`forward`.
+        Hops through buffer-tracking links (and direct calls) dispatch
+        through here, so the lookup is inlined rather than delegated to
+        :meth:`_outbound`; on the compiled plane most hops bypass this
+        frame entirely (the upstream link resolved the delivery
+        callable at send time).
         """
-        if packet.dst == self.node_id:
+        dst = packet.dst
+        if dst == self.node_id:
             agent = self._agents.get(packet.flow_id)
             if agent is None:
                 self.undeliverable += 1
                 return
             agent(packet)
             return
-        next_hop = self._routes.get(packet.dst)
-        if next_hop is None:
-            self.undeliverable += 1
+        if self._compiled:
+            table = self._next_send
+            send = table[dst] if dst < len(table) else None
+            if send is None:
+                send = self._default_send
+                if send is None:
+                    self.undeliverable += 1
+                    return
+            send(packet)
             return
+        next_hop = self._routes.get(dst)
+        if next_hop is None:
+            next_hop = self._default_hop
+            if next_hop is None:
+                self.undeliverable += 1
+                return
         self._links[next_hop].send(packet)
 
     def forward(self, packet: Packet) -> None:
@@ -113,15 +255,19 @@ class Node:
         silently discarded, matching a router's behaviour rather than
         crashing mid-simulation.
         """
-        next_hop = self._routes.get(packet.dst)
-        if next_hop is None:
+        link = self._outbound(packet.dst)
+        if link is None:
             self.undeliverable += 1
             return
-        self._links[next_hop].send(packet)
+        link.send(packet)
 
     def send(self, packet: Packet) -> None:
         """Inject a locally generated packet into the network."""
         self.forward(packet)
+
+    def metrics_snapshot(self) -> dict:
+        """Node-level telemetry for the observability layer."""
+        return {"undeliverable_packets": float(self.undeliverable)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.name} links={sorted(self._links)}>"

@@ -13,7 +13,13 @@ import enum
 import itertools
 from typing import Optional, Tuple
 
-__all__ = ["PacketKind", "Packet", "TCP_HEADER_BYTES", "ACK_SIZE_BYTES"]
+__all__ = ["PacketKind", "Packet", "TCP_HEADER_BYTES", "ACK_SIZE_BYTES",
+           "FULL_PACKET_BYTES"]
+
+#: Size of a full data packet on the wire (MSS 1460 + 40 B headers).
+#: The one shared wire-size constant -- topologies, the fluid model,
+#: attack sources, and throughput formulas all import it from here.
+FULL_PACKET_BYTES = 1500.0
 
 #: Combined TCP/IP header overhead modelled on every data packet, bytes.
 TCP_HEADER_BYTES = 40

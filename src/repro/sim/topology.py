@@ -14,13 +14,23 @@ Node id layout (M flows)::
     M+2 .. 2M+1  TCP receiver hosts
     2M+2         attacker host
     2M+3         attack sink host
+
+:func:`build_parking_lot` generalizes beyond the dumbbell onto a chain
+of routers with per-segment bottlenecks (the "parking lot" of the
+multi-bottleneck literature): long flows traverse every segment, local
+cross traffic loads individual segments, per-link buffers follow the
+AIMD buffer-sizing rule (:func:`repro.sim.routing.aimd_buffer_bytes`),
+and the pulse attacker's path may span one or several bottleneck
+links.  Both scenarios are expressed on
+:class:`~repro.sim.routing.GraphTopology`, which compiles static
+shortest-path routes into the forwarding plane.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,19 +41,18 @@ from repro.sim.attacker import PulseAttackSource
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node
-from repro.sim.packet import Packet
+from repro.sim.packet import FULL_PACKET_BYTES, Packet
 from repro.sim.queues import DropTailQueue, QueueDiscipline, REDQueue
+from repro.sim.routing import GraphTopology, aimd_buffer_bytes
 from repro.sim.tcp import TCPConfig, TCPReceiver, TCPSender
 from repro.util.errors import ConfigurationError
 from repro.util.units import mbps, ms
 from repro.util.validate import check_positive
 
 __all__ = ["DumbbellConfig", "DumbbellNetwork", "build_dumbbell",
+           "ParkingLotConfig", "ParkingLotNetwork", "build_parking_lot",
            "make_red_queue", "make_droptail_queue", "make_choke_queue",
-           "QUEUE_FACTORIES"]
-
-#: Size of a full data packet on the wire (MSS 1460 + 40 B headers).
-FULL_PACKET_BYTES = 1500.0
+           "QUEUE_FACTORIES", "FULL_PACKET_BYTES"]
 
 
 def make_red_queue(
@@ -163,6 +172,11 @@ class DumbbellConfig:
     #: ``compare=False``: backends dispatch bit-identically, so the
     #: choice must not split the runner's result-cache keys.
     scheduler: Optional[str] = dataclasses.field(default=None, compare=False)
+    #: forwarding plane ("compiled"/"dict"); ``None`` defers to
+    #: ``REPRO_FORWARDING`` / the compiled default.  ``compare=False``
+    #: for the same reason as ``scheduler``: the planes are
+    #: bit-identical, so the choice must not split cache keys.
+    forwarding: Optional[str] = dataclasses.field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_flows < 1:
@@ -195,19 +209,24 @@ class DumbbellNetwork:
         Packet.reset_uids()
 
         m = config.n_flows
-        self.router_s = Node(self.sim, 0, "routerS")
-        self.router_r = Node(self.sim, 1, "routerR")
+        self.topo = GraphTopology(self.sim, forwarding=config.forwarding)
+        self.router_s = self.topo.add_node("routerS")
+        self.router_r = self.topo.add_node("routerR")
         self.sender_nodes = [
-            Node(self.sim, 2 + i, f"sender{i}") for i in range(m)
+            self.topo.add_node(f"sender{i}") for i in range(m)
         ]
         self.receiver_nodes = [
-            Node(self.sim, 2 + m + i, f"receiver{i}") for i in range(m)
+            self.topo.add_node(f"receiver{i}") for i in range(m)
         ]
-        self.attacker_node = Node(self.sim, 2 + 2 * m, "attacker")
-        self.attack_sink_node = Node(self.sim, 3 + 2 * m, "attackSink")
+        self.attacker_node = self.topo.add_node("attacker")
+        self.attack_sink_node = self.topo.add_node("attackSink")
 
         self._build_links()
-        self._build_routes()
+        # Static shortest-path compilation makes exactly the decisions
+        # the historical per-flow add_route() calls installed: hosts
+        # default through their access link, routers route data across
+        # the bottleneck and ACKs back.
+        self.topo.compile_routes()
         self._build_flows()
         self.attack_sources: List[PulseAttackSource] = []
         self._next_attack_flow_id = 10_000
@@ -216,7 +235,7 @@ class DumbbellNetwork:
     # ------------------------------------------------------------------
     def _build_links(self) -> None:
         cfg = self.config
-        sim = self.sim
+        topo = self.topo
         rtts = cfg.flow_rtts()
         # One-way fixed components of the path: sender access + bottleneck
         # + receiver access.  All flow-specific delay goes on the sender
@@ -234,28 +253,30 @@ class DumbbellNetwork:
                     f"flow {i}: RTT {rtt * 1e3:.0f}ms too small for the fixed "
                     f"path delay {2 * fixed_one_way * 1e3:.0f}ms"
                 )
-            self.sender_links.append(Link(
-                sim, sender, self.router_s, cfg.access_rate_bps,
-                access_delay, DropTailQueue(access_buffer),
+            self.sender_links.append(topo.add_link(
+                sender, self.router_s, rate_bps=cfg.access_rate_bps,
+                delay=access_delay, queue=DropTailQueue(access_buffer),
                 name=f"sender{i}->S",
             ))
-            self.sender_return_links.append(Link(
-                sim, self.router_s, sender, cfg.access_rate_bps,
-                access_delay, DropTailQueue(access_buffer),
+            self.sender_return_links.append(topo.add_link(
+                self.router_s, sender, rate_bps=cfg.access_rate_bps,
+                delay=access_delay, queue=DropTailQueue(access_buffer),
                 name=f"S->sender{i}",
             ))
 
         self.receiver_links: List[Link] = []
         self.receiver_return_links: List[Link] = []
         for i, receiver in enumerate(self.receiver_nodes):
-            self.receiver_links.append(Link(
-                sim, self.router_r, receiver, cfg.access_rate_bps,
-                cfg.receiver_access_delay, DropTailQueue(access_buffer),
+            self.receiver_links.append(topo.add_link(
+                self.router_r, receiver, rate_bps=cfg.access_rate_bps,
+                delay=cfg.receiver_access_delay,
+                queue=DropTailQueue(access_buffer),
                 name=f"R->receiver{i}",
             ))
-            self.receiver_return_links.append(Link(
-                sim, receiver, self.router_r, cfg.access_rate_bps,
-                cfg.receiver_access_delay, DropTailQueue(access_buffer),
+            self.receiver_return_links.append(topo.add_link(
+                receiver, self.router_r, rate_bps=cfg.access_rate_bps,
+                delay=cfg.receiver_access_delay,
+                queue=DropTailQueue(access_buffer),
                 name=f"receiver{i}->R",
             ))
 
@@ -265,42 +286,28 @@ class DumbbellNetwork:
             rng=self.rng,
             service_rate_bps=cfg.bottleneck_rate_bps,
         )
-        self.bottleneck = Link(
-            sim, self.router_s, self.router_r, cfg.bottleneck_rate_bps,
-            cfg.bottleneck_delay, self.bottleneck_queue, name="bottleneck",
+        self.bottleneck = topo.add_link(
+            self.router_s, self.router_r, rate_bps=cfg.bottleneck_rate_bps,
+            delay=cfg.bottleneck_delay, queue=self.bottleneck_queue,
+            name="bottleneck",
         )
-        self.reverse_bottleneck = Link(
-            sim, self.router_r, self.router_s, cfg.bottleneck_rate_bps,
-            cfg.bottleneck_delay, DropTailQueue(4_000_000.0),
+        self.reverse_bottleneck = topo.add_link(
+            self.router_r, self.router_s, rate_bps=cfg.bottleneck_rate_bps,
+            delay=cfg.bottleneck_delay, queue=DropTailQueue(4_000_000.0),
             name="bottleneck-reverse",
         )
 
         # Attacker and attack sink attachment.
-        self.attacker_link = Link(
-            sim, self.attacker_node, self.router_s, cfg.attacker_access_rate_bps,
-            ms(1), DropTailQueue(16_000_000.0), name="attacker->S",
+        self.attacker_link = topo.add_link(
+            self.attacker_node, self.router_s,
+            rate_bps=cfg.attacker_access_rate_bps,
+            delay=ms(1), queue=DropTailQueue(16_000_000.0), name="attacker->S",
         )
-        self.attack_sink_link = Link(
-            sim, self.router_r, self.attack_sink_node, cfg.attacker_access_rate_bps,
-            ms(1), DropTailQueue(16_000_000.0), name="R->attackSink",
+        self.attack_sink_link = topo.add_link(
+            self.router_r, self.attack_sink_node,
+            rate_bps=cfg.attacker_access_rate_bps,
+            delay=ms(1), queue=DropTailQueue(16_000_000.0), name="R->attackSink",
         )
-
-    def _build_routes(self) -> None:
-        m = self.config.n_flows
-        router_s, router_r = self.router_s, self.router_r
-        sink_id = self.attack_sink_node.node_id
-        for i in range(m):
-            sender_id = 2 + i
-            receiver_id = 2 + m + i
-            # Hosts: everything via their access link.
-            self.sender_nodes[i].add_route(receiver_id, router_s.node_id)
-            self.receiver_nodes[i].add_route(sender_id, router_r.node_id)
-            # Router S: data forward to R, ACKs back to senders.
-            router_s.add_route(receiver_id, router_r.node_id)
-            # Router R: data out to receivers, ACKs back toward S.
-            router_r.add_route(sender_id, router_s.node_id)
-        self.attacker_node.add_route(sink_id, router_s.node_id)
-        router_s.add_route(sink_id, router_r.node_id)
 
     def _build_flows(self) -> None:
         cfg = self.config
@@ -329,7 +336,8 @@ class DumbbellNetwork:
             jitter = self.rng.uniform(0.0, stagger)
             sender.start(at=self.sim.now + jitter)
 
-    def add_attack(self, train: PulseTrain, *, packet_bytes: float = 1500.0,
+    def add_attack(self, train: PulseTrain, *,
+                   packet_bytes: float = FULL_PACKET_BYTES,
                    start_time: float = 0.0) -> PulseAttackSource:
         """Attach (but do not start) a pulse-train attack source."""
         flow_id = self._next_attack_flow_id
@@ -359,22 +367,32 @@ class DumbbellNetwork:
                 f"rtt {rtt * 1e3:.0f}ms too small for the fixed path delay"
             )
         buffer = 4_000_000.0
-        sender_host = Node(self.sim, self._next_node_id,
-                           f"host{self._next_node_id}")
+        topo = self.topo
+        sender_host = topo.add_node(f"host{self._next_node_id}",
+                                    node_id=self._next_node_id)
         self._next_node_id += 1
-        receiver_host = Node(self.sim, self._next_node_id,
-                             f"host{self._next_node_id}")
+        receiver_host = topo.add_node(f"host{self._next_node_id}",
+                                      node_id=self._next_node_id)
         self._next_node_id += 1
-        Link(self.sim, sender_host, self.router_s, cfg.access_rate_bps,
-             access_delay, DropTailQueue(buffer))
-        Link(self.sim, self.router_s, sender_host, cfg.access_rate_bps,
-             access_delay, DropTailQueue(buffer))
-        Link(self.sim, self.router_r, receiver_host, cfg.access_rate_bps,
-             cfg.receiver_access_delay, DropTailQueue(buffer))
-        Link(self.sim, receiver_host, self.router_r, cfg.access_rate_bps,
-             cfg.receiver_access_delay, DropTailQueue(buffer))
-        sender_host.add_route(receiver_host.node_id, self.router_s.node_id)
-        receiver_host.add_route(sender_host.node_id, self.router_r.node_id)
+        topo.add_link(sender_host, self.router_s,
+                      rate_bps=cfg.access_rate_bps, delay=access_delay,
+                      queue=DropTailQueue(buffer))
+        topo.add_link(self.router_s, sender_host,
+                      rate_bps=cfg.access_rate_bps, delay=access_delay,
+                      queue=DropTailQueue(buffer))
+        topo.add_link(self.router_r, receiver_host,
+                      rate_bps=cfg.access_rate_bps,
+                      delay=cfg.receiver_access_delay,
+                      queue=DropTailQueue(buffer))
+        topo.add_link(receiver_host, self.router_r,
+                      rate_bps=cfg.access_rate_bps,
+                      delay=cfg.receiver_access_delay,
+                      queue=DropTailQueue(buffer))
+        # Mid-scenario attachment: the hosts are single-homed (default
+        # route through their access link); only the routers learn the
+        # new destinations.
+        sender_host.set_default_route(self.router_s.node_id)
+        receiver_host.set_default_route(self.router_r.node_id)
         self.router_s.add_route(receiver_host.node_id, self.router_r.node_id)
         self.router_r.add_route(sender_host.node_id, self.router_s.node_id)
         return sender_host, receiver_host
@@ -382,18 +400,19 @@ class DumbbellNetwork:
     def add_attacker_host(self) -> Node:
         """Attach an additional attack-source host (for DDoS scenarios)."""
         cfg = self.config
-        node = Node(self.sim, self._next_node_id,
-                    f"attacker{self._next_node_id}")
+        node = self.topo.add_node(f"attacker{self._next_node_id}",
+                                  node_id=self._next_node_id)
         self._next_node_id += 1
-        Link(
-            self.sim, node, self.router_s, cfg.attacker_access_rate_bps,
-            ms(1), DropTailQueue(16_000_000.0),
+        self.topo.add_link(
+            node, self.router_s, rate_bps=cfg.attacker_access_rate_bps,
+            delay=ms(1), queue=DropTailQueue(16_000_000.0),
             name=f"{node.name}->S",
         )
-        node.add_route(self.attack_sink_node.node_id, self.router_s.node_id)
+        node.set_default_route(self.router_s.node_id)
         return node
 
-    def launch_distributed(self, attack, *, packet_bytes: float = 1500.0,
+    def launch_distributed(self, attack, *,
+                           packet_bytes: float = FULL_PACKET_BYTES,
                            start_time: float = 0.0) -> List[PulseAttackSource]:
         """Launch a :class:`~repro.core.distributed.DistributedAttack`.
 
@@ -432,7 +451,7 @@ class DumbbellNetwork:
                 "bottleneck": self.bottleneck,
                 "bottleneck_reverse": self.reverse_bottleneck,
                 "attacker": self.attacker_link,
-            }, senders=self.senders)
+            }, senders=self.senders, nodes=self.topo.nodes.values())
 
     # ------------------------------------------------------------------
     # measurement helpers
@@ -481,3 +500,396 @@ def _discard_packet(_packet) -> None:
 def build_dumbbell(config: Optional[DumbbellConfig] = None) -> DumbbellNetwork:
     """Construct the Fig. 5 dumbbell scenario."""
     return DumbbellNetwork(config if config is not None else DumbbellConfig())
+
+
+# ======================================================================
+# parking-lot / multi-bottleneck scenarios
+# ======================================================================
+@dataclasses.dataclass(frozen=True)
+class ParkingLotConfig:
+    """Parameters of an N-bottleneck parking-lot chain.
+
+    ``n_segments`` chain links connect routers ``R_0 .. R_K``.  *Long*
+    flows enter at ``R_0`` and exit behind ``R_K`` (crossing every
+    segment); *cross* flows load exactly one segment each.  Segment
+    rates may be heterogeneous (``segment_rates_bps``), per-link
+    buffers follow the AIMD buffer-sizing rule
+    (:func:`repro.sim.routing.aimd_buffer_bytes`, arXiv cs/0703063),
+    and flow RTTs are numpy-drawn uniformly over
+    ``[rtt_min, rtt_max]`` (heterogeneous, unlike the dumbbell's even
+    spread).  The pulse attacker's path spans the contiguous
+    ``attack_segments`` -- one segment reproduces the single-bottleneck
+    question, several reproduce the converging-attack-path scenarios
+    the optimal-filtering literature motivates.
+
+    Frozen (hashable and picklable) so a config can key the experiment
+    runner's result cache and ship to worker processes unchanged.
+    """
+
+    n_segments: int = 2
+    long_flows: int = 8
+    cross_flows: int = 4
+    bottleneck_rate_bps: float = mbps(15)
+    segment_rates_bps: Tuple[float, ...] = ()
+    access_rate_bps: float = mbps(50)
+    segment_delay: float = ms(4)
+    receiver_access_delay: float = ms(1)
+    rtt_min: float = ms(60)
+    rtt_max: float = ms(460)
+    buffer_beta: float = 0.5
+    attack_segments: Tuple[int, ...] = (0,)
+    queue_factory: Callable[..., QueueDiscipline] = None  # type: ignore[assignment]
+    tcp: TCPConfig = dataclasses.field(default_factory=TCPConfig)
+    attacker_access_rate_bps: float = mbps(1000)
+    seed: int = 1
+    scheduler: Optional[str] = dataclasses.field(default=None, compare=False)
+    forwarding: Optional[str] = dataclasses.field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_segments < 1:
+            raise ConfigurationError(
+                f"n_segments must be >= 1, got {self.n_segments}"
+            )
+        if self.long_flows < 1:
+            raise ConfigurationError(
+                f"long_flows must be >= 1, got {self.long_flows}"
+            )
+        if self.cross_flows < 0:
+            raise ConfigurationError(
+                f"cross_flows must be >= 0, got {self.cross_flows}"
+            )
+        check_positive("bottleneck_rate_bps", self.bottleneck_rate_bps)
+        check_positive("access_rate_bps", self.access_rate_bps)
+        if self.segment_rates_bps and (
+                len(self.segment_rates_bps) != self.n_segments):
+            raise ConfigurationError(
+                f"segment_rates_bps needs {self.n_segments} entries, "
+                f"got {len(self.segment_rates_bps)}"
+            )
+        segments = self.attack_segments
+        if not segments:
+            raise ConfigurationError("attack_segments must not be empty")
+        if list(segments) != list(range(segments[0], segments[-1] + 1)):
+            raise ConfigurationError(
+                f"attack_segments must be a contiguous ascending span "
+                f"(the attack path crosses them in order), got {segments}"
+            )
+        if segments[0] < 0 or segments[-1] >= self.n_segments:
+            raise ConfigurationError(
+                f"attack_segments {segments} outside 0..{self.n_segments - 1}"
+            )
+        fixed = 2.0 * (self.n_segments * self.segment_delay
+                       + self.receiver_access_delay)
+        if not fixed < self.rtt_min <= self.rtt_max:
+            raise ConfigurationError(
+                f"need rtt_min > fixed path delay {fixed * 1e3:.0f}ms and "
+                f"rtt_min <= rtt_max, got [{self.rtt_min}, {self.rtt_max}]"
+            )
+        if self.long_flows + self.n_segments * self.cross_flows >= 10_000:
+            raise ConfigurationError(
+                "TCP flow ids must stay below the attack id range (10000)"
+            )
+        if self.queue_factory is None:
+            object.__setattr__(self, "queue_factory", make_red_queue)
+
+    def segment_rates(self) -> Tuple[float, ...]:
+        """Per-segment chain rates (resolved heterogeneous list)."""
+        if self.segment_rates_bps:
+            return tuple(float(r) for r in self.segment_rates_bps)
+        return (float(self.bottleneck_rate_bps),) * self.n_segments
+
+    def attacked_rate_bps(self) -> float:
+        """The tightest attacked segment's rate: the γ normalizer."""
+        rates = self.segment_rates()
+        return min(rates[j] for j in self.attack_segments)
+
+    def draw_rtts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy-drawn flow RTTs: ``(long[L], cross[K, X])``, seconds.
+
+        A pure function of the seed, so experiment platforms can
+        recompute the victim population without building the network.
+        """
+        rng = np.random.default_rng(self.seed)
+        long_rtts = rng.uniform(self.rtt_min, self.rtt_max, self.long_flows)
+        cross_rtts = rng.uniform(
+            self.rtt_min, self.rtt_max,
+            (self.n_segments, self.cross_flows),
+        )
+        return long_rtts, cross_rtts
+
+
+class ParkingLotNetwork:
+    """A built parking-lot chain: routers, per-segment bottlenecks, flows.
+
+    Exposes the same measurement interface as
+    :class:`DumbbellNetwork` (``start_flows`` / ``add_attack`` /
+    ``run`` / ``aggregate_goodput_bytes`` / ``state_digest``), so
+    runner cells, warm-start snapshots, the convergence monitor, and
+    the flight recorder work unchanged.  The *victim population* is
+    the long flows (they cross every attacked link);
+    :meth:`aggregate_goodput_bytes` measures exactly those, keeping
+    gain curves comparable across topologies with different cross
+    traffic.
+    """
+
+    def __init__(self, config: ParkingLotConfig) -> None:
+        self.config = config
+        self.sim = Simulator(scheduler=config.scheduler)
+        self.rng = random.Random(config.seed)
+        #: vectorized start-jitter stream (distinct from the RED rng).
+        self.np_rng = np.random.default_rng((config.seed, 1))
+        Packet.reset_uids()
+
+        self.long_rtts, self.cross_rtts = config.draw_rtts()
+        self.topo = GraphTopology(self.sim, forwarding=config.forwarding)
+        self._build_nodes()
+        self._build_links()
+        self.topo.compile_routes()
+        self._build_flows()
+        self.attack_sources: List[PulseAttackSource] = []
+        self._next_attack_flow_id = 10_000
+
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> None:
+        cfg = self.config
+        topo = self.topo
+        k, l, x = cfg.n_segments, cfg.long_flows, cfg.cross_flows
+        self.routers = [topo.add_node(f"R{j}") for j in range(k + 1)]
+        self.long_sender_nodes = [
+            topo.add_node(f"longSender{i}") for i in range(l)
+        ]
+        self.long_receiver_nodes = [
+            topo.add_node(f"longReceiver{i}") for i in range(l)
+        ]
+        self.cross_sender_nodes = [
+            [topo.add_node(f"crossSender{j}_{i}") for i in range(x)]
+            for j in range(k)
+        ]
+        self.cross_receiver_nodes = [
+            [topo.add_node(f"crossReceiver{j}_{i}") for i in range(x)]
+            for j in range(k)
+        ]
+        first = cfg.attack_segments[0]
+        last = cfg.attack_segments[-1]
+        self.attacker_node = topo.add_node("attacker")
+        self.attack_sink_node = topo.add_node("attackSink")
+        self._attack_entry = self.routers[first]
+        self._attack_exit = self.routers[last + 1]
+
+    def _build_links(self) -> None:
+        cfg = self.config
+        topo = self.topo
+        k, x = cfg.n_segments, cfg.cross_flows
+        rates = cfg.segment_rates()
+        access_buffer = 4_000_000.0
+        long_fixed = (k * cfg.segment_delay + cfg.receiver_access_delay)
+        cross_fixed = (cfg.segment_delay + cfg.receiver_access_delay)
+
+        def host_pair(sender, receiver, entry, exit_, rtt, fixed, label):
+            """Duplex access wiring for one sender/receiver host pair."""
+            access_delay = rtt / 2.0 - fixed
+            topo.add_duplex_link(
+                sender, entry, rate_bps=cfg.access_rate_bps,
+                delay=access_delay, queue=DropTailQueue(access_buffer),
+                queue_back=DropTailQueue(access_buffer),
+                name=f"{label}->in",
+            )
+            topo.add_duplex_link(
+                exit_, receiver, rate_bps=cfg.access_rate_bps,
+                delay=cfg.receiver_access_delay,
+                queue=DropTailQueue(access_buffer),
+                queue_back=DropTailQueue(access_buffer),
+                name=f"{label}->out",
+            )
+
+        for i, rtt in enumerate(self.long_rtts):
+            host_pair(self.long_sender_nodes[i], self.long_receiver_nodes[i],
+                      self.routers[0], self.routers[k], float(rtt),
+                      long_fixed, f"long{i}")
+        for j in range(k):
+            for i in range(x):
+                host_pair(self.cross_sender_nodes[j][i],
+                          self.cross_receiver_nodes[j][i],
+                          self.routers[j], self.routers[j + 1],
+                          float(self.cross_rtts[j, i]), cross_fixed,
+                          f"cross{j}_{i}")
+
+        # The chain: one AQM bottleneck per segment, buffer from the
+        # AIMD rule at the mean RTT of the flows crossing it.
+        self.segment_links: List[Link] = []
+        self.segment_return_links: List[Link] = []
+        self.segment_queues: List[QueueDiscipline] = []
+        n_sharing = cfg.long_flows + cfg.cross_flows
+        for j in range(k):
+            crossing = [self.long_rtts]
+            if x:
+                crossing.append(self.cross_rtts[j])
+            mean_rtt = float(np.mean(np.concatenate(crossing)))
+            buffer_bytes = aimd_buffer_bytes(
+                rates[j], mean_rtt, n_sharing, beta=cfg.buffer_beta,
+            )
+            queue = cfg.queue_factory(
+                buffer_bytes, rng=self.rng, service_rate_bps=rates[j],
+            )
+            self.segment_queues.append(queue)
+            forward, backward = topo.add_duplex_link(
+                self.routers[j], self.routers[j + 1], rate_bps=rates[j],
+                delay=cfg.segment_delay, queue=queue,
+                queue_back=DropTailQueue(4_000_000.0),
+                name=f"segment{j}",
+            )
+            self.segment_links.append(forward)
+            self.segment_return_links.append(backward)
+
+        self.attacker_link = topo.add_link(
+            self.attacker_node, self._attack_entry,
+            rate_bps=cfg.attacker_access_rate_bps, delay=ms(1),
+            queue=DropTailQueue(16_000_000.0), name="attacker->in",
+        )
+        self.attack_sink_link = topo.add_link(
+            self._attack_exit, self.attack_sink_node,
+            rate_bps=cfg.attacker_access_rate_bps, delay=ms(1),
+            queue=DropTailQueue(16_000_000.0), name="out->attackSink",
+        )
+
+    def _build_flows(self) -> None:
+        cfg = self.config
+        k, l, x = cfg.n_segments, cfg.long_flows, cfg.cross_flows
+        self.senders: List[TCPSender] = []
+        self.receivers: List[TCPReceiver] = []
+        for i in range(l):
+            self.senders.append(TCPSender(
+                self.sim, self.long_sender_nodes[i], i,
+                receiver_node_id=self.long_receiver_nodes[i].node_id,
+                config=cfg.tcp,
+            ))
+            self.receivers.append(TCPReceiver(
+                self.sim, self.long_receiver_nodes[i], i,
+                sender_node_id=self.long_sender_nodes[i].node_id,
+                config=cfg.tcp,
+            ))
+        self.cross_senders: List[TCPSender] = []
+        self.cross_receivers: List[TCPReceiver] = []
+        flow_id = l
+        for j in range(k):
+            for i in range(x):
+                self.cross_senders.append(TCPSender(
+                    self.sim, self.cross_sender_nodes[j][i], flow_id,
+                    receiver_node_id=self.cross_receiver_nodes[j][i].node_id,
+                    config=cfg.tcp,
+                ))
+                self.cross_receivers.append(TCPReceiver(
+                    self.sim, self.cross_receiver_nodes[j][i], flow_id,
+                    sender_node_id=self.cross_sender_nodes[j][i].node_id,
+                    config=cfg.tcp,
+                ))
+                flow_id += 1
+
+    # ------------------------------------------------------------------
+    # scenario control (DumbbellNetwork-compatible surface)
+    # ------------------------------------------------------------------
+    def start_flows(self, *, stagger: float = 0.1) -> None:
+        """Start every TCP flow with a vectorized start jitter."""
+        senders = self.senders + self.cross_senders
+        jitters = self.np_rng.uniform(0.0, stagger, len(senders))
+        now = self.sim.now
+        for sender, jitter in zip(senders, jitters):
+            sender.start(at=now + float(jitter))
+
+    def add_attack(self, train: PulseTrain, *,
+                   packet_bytes: float = FULL_PACKET_BYTES,
+                   start_time: float = 0.0) -> PulseAttackSource:
+        """Attach (but do not start) a pulse source crossing the attacked span."""
+        flow_id = self._next_attack_flow_id
+        self._next_attack_flow_id += 1
+        self.attack_sink_node.register_agent(flow_id, _discard_packet)
+        source = PulseAttackSource(
+            self.sim, self.attacker_node, flow_id,
+            self.attack_sink_node.node_id, train,
+            packet_bytes=packet_bytes, start_time=start_time,
+        )
+        self.attack_sources.append(source)
+        return source
+
+    def run(self, until: float) -> None:
+        """Advance to *until*, publishing telemetry when metrics are on."""
+        self.sim.run(until=until)
+        registry = _obs_metrics.active()
+        if registry is not None:
+            links = {
+                f"segment{j}": self.segment_links[j]
+                for j in range(self.config.n_segments)
+            }
+            links["attacker"] = self.attacker_link
+            publish_network(
+                registry, links=links,
+                senders=self.senders + self.cross_senders,
+                nodes=self.topo.nodes.values(),
+            )
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    @property
+    def bottleneck(self) -> Link:
+        """The tightest attacked chain link (recorder/detector target)."""
+        rates = self.config.segment_rates()
+        j = min(self.config.attack_segments, key=lambda s: rates[s])
+        return self.segment_links[j]
+
+    @property
+    def reverse_bottleneck(self) -> Link:
+        rates = self.config.segment_rates()
+        j = min(self.config.attack_segments, key=lambda s: rates[s])
+        return self.segment_return_links[j]
+
+    def attacked_rate_bps(self) -> float:
+        """Rate of the tightest attacked segment (γ normalizer)."""
+        return self.config.attacked_rate_bps()
+
+    def state_digest(self) -> tuple:
+        """Fingerprint of the whole scenario's dynamic state.
+
+        Same protocol as :meth:`DumbbellNetwork.state_digest`, extended
+        with the numpy jitter stream's state so warm-start forks resume
+        the vectorized draws exactly.
+        """
+        return (
+            self.sim.state_digest(),
+            self.rng.getstate(),
+            repr(self.np_rng.bit_generator.state),
+            Packet.peek_uid(),
+            tuple(link.state_digest() for link in self.topo.links),
+            tuple(s.state_digest()
+                  for s in self.senders + self.cross_senders),
+            tuple(r.state_digest()
+                  for r in self.receivers + self.cross_receivers),
+            self._next_attack_flow_id,
+        )
+
+    def flow_rtts(self) -> np.ndarray:
+        """Propagation RTTs of the victim (long) flows, seconds."""
+        return self.long_rtts
+
+    def aggregate_goodput_bytes(self) -> float:
+        """Payload bytes delivered across the victim (long) flows."""
+        return float(sum(s.goodput_bytes() for s in self.senders))
+
+    def total_goodput_bytes(self) -> float:
+        """Payload bytes delivered across every TCP flow (incl. cross)."""
+        return float(sum(
+            s.goodput_bytes() for s in self.senders + self.cross_senders
+        ))
+
+    def goodput_snapshot(self) -> np.ndarray:
+        """Per-victim-flow delivered payload bytes."""
+        return np.array([s.goodput_bytes() for s in self.senders])
+
+
+def build_parking_lot(
+    config: Optional[ParkingLotConfig] = None,
+) -> ParkingLotNetwork:
+    """Construct a parking-lot / N-bottleneck chain scenario."""
+    return ParkingLotNetwork(
+        config if config is not None else ParkingLotConfig()
+    )

@@ -37,6 +37,7 @@ from repro.sim.attacker import PulseAttackSource
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node
+from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue, QueueDiscipline, REDQueue
 from repro.sim.tcp import TCPConfig, TCPReceiver, TCPSender, TCPVariant
@@ -86,7 +87,7 @@ class DummynetPipe:
             w_q=0.002,
             gentle=True,
             byte_mode=True,
-            mean_pkt_bytes=1500.0,
+            mean_pkt_bytes=FULL_PACKET_BYTES,
             service_rate_bps=self.bandwidth_bps,
             rng=rng,
         )
@@ -243,7 +244,8 @@ class TestbedNetwork:
         for sender in self.senders:
             sender.start(at=self.sim.now + self.rng.uniform(0.0, stagger))
 
-    def add_attack(self, train: PulseTrain, *, packet_bytes: float = 1500.0,
+    def add_attack(self, train: PulseTrain, *,
+                   packet_bytes: float = FULL_PACKET_BYTES,
                    start_time: float = 0.0) -> PulseAttackSource:
         """Attach (but do not start) a pulse-train attack toward the victim."""
         flow_id = self._next_attack_flow_id

@@ -1,0 +1,431 @@
+"""The compiled forwarding plane and graph-topology routing.
+
+Pins the tentpole promises: compiled shortest-path routes match a BFS
+oracle on random connected graphs, the compiled and dict forwarding
+planes are bit-identical on the dumbbell, and the parking-lot scenario
+is deterministic across scheduler backends and warm-start forks.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.attack import PulseTrain
+from repro.runner.cells import Cell, PlatformSpec, execute_cell
+from repro.sim.engine import Simulator
+from repro.sim.node import FORWARDING_MODES, Node, forwarding_default
+from repro.sim.packet import FULL_PACKET_BYTES, Packet, PacketKind
+from repro.sim.queues import DropTailQueue
+from repro.sim.routing import GraphTopology, aimd_buffer_bytes
+from repro.sim.topology import (
+    DumbbellConfig,
+    ParkingLotConfig,
+    build_dumbbell,
+    build_parking_lot,
+)
+from repro.util.errors import ConfigurationError, ValidationError
+from repro.util.units import mbps, ms
+
+
+# ----------------------------------------------------------------------
+# aimd_buffer_bytes
+# ----------------------------------------------------------------------
+class TestAimdBufferRule:
+    def test_standard_tcp_gets_full_bdp(self):
+        # beta = 1/2 -> B = C*T: the classic full-utilization buffer.
+        assert aimd_buffer_bytes(mbps(15), 0.1) == pytest.approx(
+            mbps(15) * 0.1 / 8.0
+        )
+
+    def test_multiplexing_scales_inverse_sqrt(self):
+        one = aimd_buffer_bytes(mbps(100), 0.2, 1)
+        many = aimd_buffer_bytes(mbps(100), 0.2, 16)
+        assert many == pytest.approx(one / 4.0)
+
+    def test_gentler_decrease_needs_less_buffer(self):
+        # beta = 3/4 -> B = C*T/3.
+        assert aimd_buffer_bytes(mbps(30), 0.1, beta=0.75) == pytest.approx(
+            mbps(30) * 0.1 / 8.0 / 3.0
+        )
+
+    def test_floor_bounds_tiny_bdp_links(self):
+        assert aimd_buffer_bytes(1e5, 0.001) == 16.0 * FULL_PACKET_BYTES
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            aimd_buffer_bytes(mbps(10), 0.1, beta=1.0)
+        with pytest.raises(ValidationError):
+            aimd_buffer_bytes(0.0, 0.1)
+        with pytest.raises(ValidationError):
+            aimd_buffer_bytes(mbps(10), -1.0)
+
+
+# ----------------------------------------------------------------------
+# route compilation vs a BFS oracle
+# ----------------------------------------------------------------------
+def random_connected_graph(rng: random.Random, n_nodes: int):
+    """Random connected undirected graph as a set of duplex edges."""
+    edges = set()
+    for i in range(1, n_nodes):
+        edges.add((rng.randrange(i), i))  # random spanning tree
+    extra = rng.randrange(0, 2 * n_nodes)
+    for _ in range(extra):
+        a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return sorted(edges)
+
+
+def build_graph(edges, n_nodes, sim=None):
+    topo = GraphTopology(sim if sim is not None else Simulator())
+    for i in range(n_nodes):
+        topo.add_node(f"n{i}")
+    for a, b in edges:
+        topo.add_duplex_link(
+            topo.nodes[a], topo.nodes[b],
+            rate_bps=mbps(10), delay=ms(1),
+            queue=DropTailQueue(64_000.0), queue_back=DropTailQueue(64_000.0),
+        )
+    topo.compile_routes()
+    return topo
+
+
+def bfs_distances(edges, n_nodes, root):
+    adjacency = {i: [] for i in range(n_nodes)}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    dist = {root: 0}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    nxt.append(neighbor)
+        frontier = nxt
+    return dist
+
+
+class TestCompiledRoutesVsOracle:
+    def test_compiled_paths_are_shortest_on_random_graphs(self):
+        """Property: every compiled path has the BFS-oracle length."""
+        rng = random.Random(0xC0FFEE)
+        for trial in range(25):
+            n_nodes = rng.randrange(2, 14)
+            edges = random_connected_graph(rng, n_nodes)
+            topo = build_graph(edges, n_nodes)
+            for src in range(n_nodes):
+                oracle = bfs_distances(edges, n_nodes, src)
+                for dst in range(n_nodes):
+                    if dst == src:
+                        continue
+                    path = topo.path(src, dst)
+                    assert path is not None, (trial, src, dst)
+                    assert len(path) == oracle[dst], (trial, src, dst)
+                    # Path validity: contiguous hops ending at dst.
+                    assert path[0].src.node_id == src
+                    assert path[-1].dst.node_id == dst
+                    for first, second in zip(path, path[1:]):
+                        assert first.dst is second.src
+
+    def test_compilation_is_deterministic(self):
+        """Two identical builds install identical forwarding state."""
+        rng = random.Random(7)
+        edges = random_connected_graph(rng, 12)
+        topo_a = build_graph(edges, 12)
+        topo_b = build_graph(edges, 12)
+        for src in range(12):
+            for dst in range(12):
+                if src == dst:
+                    continue
+                hops_a = [l.dst.node_id for l in topo_a.path(src, dst)]
+                hops_b = [l.dst.node_id for l in topo_b.path(src, dst)]
+                assert hops_a == hops_b
+
+    def test_compilation_is_idempotent(self):
+        rng = random.Random(21)
+        edges = random_connected_graph(rng, 9)
+        topo = build_graph(edges, 9)
+        before = {
+            (s, d): [l.dst.node_id for l in topo.path(s, d)]
+            for s in range(9) for d in range(9) if s != d
+        }
+        topo.compile_routes()
+        after = {
+            (s, d): [l.dst.node_id for l in topo.path(s, d)]
+            for s in range(9) for d in range(9) if s != d
+        }
+        assert before == after
+
+    def test_disconnected_destination_is_unroutable(self):
+        topo = GraphTopology(Simulator())
+        a = topo.add_node("a")
+        b = topo.add_node("b")
+        c = topo.add_node("c")
+        topo.add_node("island")
+        topo.add_duplex_link(a, b, rate_bps=mbps(10), delay=ms(1))
+        topo.add_duplex_link(a, c, rate_bps=mbps(10), delay=ms(1))
+        topo.compile_routes()
+        # From the router (dense table) the island is simply absent;
+        # from a host the default route leads to the router, which
+        # drops -- either way no path exists.
+        assert topo.path(0, 3) is None
+        assert topo.path(1, 3) is None
+        assert topo.path(1, 2) is not None
+
+    def test_path_rejects_unknown_endpoints(self):
+        topo = GraphTopology(Simulator())
+        topo.add_node("only")
+        with pytest.raises(ConfigurationError):
+            topo.path(0, 99)
+
+    def test_duplicate_node_id_rejected(self):
+        topo = GraphTopology(Simulator())
+        topo.add_node("a", node_id=3)
+        with pytest.raises(ConfigurationError):
+            topo.add_node("b", node_id=3)
+
+    def test_bad_forwarding_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            GraphTopology(Simulator(), forwarding="quantum")
+
+
+# ----------------------------------------------------------------------
+# forwarding-plane selection and node-level behaviour
+# ----------------------------------------------------------------------
+class TestForwardingSelection:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORWARDING", raising=False)
+        assert forwarding_default() == "compiled"
+        monkeypatch.setenv("REPRO_FORWARDING", "dict")
+        assert forwarding_default() == "dict"
+        monkeypatch.setenv("REPRO_FORWARDING", "bogus")
+        with pytest.raises(ValidationError):
+            forwarding_default()
+
+    def test_modes_tuple(self):
+        assert FORWARDING_MODES == ("compiled", "dict")
+
+
+def one_packet(dst, flow_id=1):
+    return Packet(PacketKind.CBR, flow_id, 0, dst, 100.0)
+
+
+class TestNodeForwarding:
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_default_route_carries_unknown_destinations(self, compiled):
+        sim = Simulator()
+        host = Node(sim, 0, "host", compiled=compiled)
+        router = Node(sim, 1, "router", compiled=compiled)
+        sink = Node(sim, 2, "sink", compiled=compiled)
+        from repro.sim.link import Link
+
+        Link(sim, host, router, mbps(10), ms(1))
+        Link(sim, router, sink, mbps(10), ms(1))
+        host.set_default_route(1)
+        router.set_default_route(2)
+        got = []
+        sink.register_agent(1, got.append)
+        host.send(one_packet(2))
+        sim.run()
+        assert len(got) == 1
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_unroutable_counts_undeliverable(self, compiled):
+        sim = Simulator()
+        node = Node(sim, 0, "lonely", compiled=compiled)
+        node.receive(one_packet(9))
+        assert node.undeliverable == 1
+        assert node.metrics_snapshot() == {"undeliverable_packets": 1.0}
+
+    def test_bulk_register_agents(self):
+        sim = Simulator()
+        node = Node(sim, 0, "host")
+        sink = []
+        node.register_agents({1: sink.append, 2: sink.append})
+        with pytest.raises(ConfigurationError):
+            node.register_agents({2: sink.append, 3: sink.append})
+        node.receive(one_packet(0, flow_id=2))
+        assert len(sink) == 1
+
+
+# ----------------------------------------------------------------------
+# bit-identicality across planes, backends, and forks
+# ----------------------------------------------------------------------
+def run_dumbbell(forwarding: str):
+    config = DumbbellConfig(n_flows=5, seed=3, forwarding=forwarding)
+    net = build_dumbbell(config)
+    net.start_flows()
+    net.run(until=2.0)
+    source = net.add_attack(
+        PulseTrain.uniform(ms(75), mbps(25), 0.5, 6), start_time=2.0,
+    )
+    source.start()
+    net.run(until=5.0)
+    return net
+
+
+def run_parking_lot(scheduler=None, forwarding=None, until=4.0):
+    config = ParkingLotConfig(
+        n_segments=2, long_flows=4, cross_flows=2, seed=5,
+        scheduler=scheduler, forwarding=forwarding,
+    )
+    net = build_parking_lot(config)
+    net.start_flows()
+    net.run(until=1.5)
+    source = net.add_attack(
+        PulseTrain.uniform(ms(75), mbps(25), 0.4, 8), start_time=1.5,
+    )
+    source.start()
+    net.run(until=until)
+    return net
+
+
+class TestBitIdenticality:
+    def test_dumbbell_compiled_vs_dict(self):
+        compiled = run_dumbbell("compiled")
+        dict_plane = run_dumbbell("dict")
+        assert compiled.sim.events_executed == dict_plane.sim.events_executed
+        assert (compiled.aggregate_goodput_bytes()
+                == dict_plane.aggregate_goodput_bytes())
+        assert compiled.state_digest() == dict_plane.state_digest()
+
+    def test_parking_lot_compiled_vs_dict(self):
+        compiled = run_parking_lot(forwarding="compiled")
+        dict_plane = run_parking_lot(forwarding="dict")
+        assert compiled.state_digest() == dict_plane.state_digest()
+
+    def test_parking_lot_heap_vs_calendar(self):
+        """Cross-backend fingerprint: heap and calendar dispatch match."""
+        heap = run_parking_lot(scheduler="heap")
+        calendar = run_parking_lot(scheduler="calendar")
+        assert heap.sim.events_executed == calendar.sim.events_executed
+        assert heap.state_digest() == calendar.state_digest()
+
+    def test_parking_lot_snapshot_fork_matches_straight_run(self):
+        from repro.sim.checkpoint import NetworkSnapshot
+
+        straight = run_parking_lot(until=4.0)
+
+        config = ParkingLotConfig(
+            n_segments=2, long_flows=4, cross_flows=2, seed=5,
+        )
+        net = build_parking_lot(config)
+        net.start_flows()
+        net.run(until=1.5)
+        snapshot = NetworkSnapshot(net)
+        fork, _ = snapshot.fork()
+        source = fork.add_attack(
+            PulseTrain.uniform(ms(75), mbps(25), 0.4, 8), start_time=1.5,
+        )
+        source.start()
+        fork.run(until=4.0)
+        assert fork.state_digest() == straight.state_digest()
+
+
+# ----------------------------------------------------------------------
+# runner PlatformSpec integration
+# ----------------------------------------------------------------------
+class TestParkingLotPlatformSpec:
+    def test_dumbbell_describe_unchanged(self):
+        """Existing cells keep their historical cache identity."""
+        spec = PlatformSpec(kind="dumbbell", n_flows=15, seed=1)
+        assert spec.describe() == {
+            "kind": "dumbbell", "n_flows": 15, "seed": 1,
+            "tcp": None, "queue": "red",
+        }
+        testbed = PlatformSpec(kind="testbed", n_flows=10, seed=7)
+        assert testbed.describe() == {
+            "kind": "testbed", "n_flows": 10, "seed": 7,
+            "tcp": None, "use_red": True,
+        }
+
+    def test_parking_lot_round_trip(self):
+        spec = PlatformSpec(
+            kind="parking_lot", n_flows=4, seed=2,
+            extra=(("n_segments", 2), ("cross_flows", 2),
+                   ("attack_segments", (0, 1))),
+        )
+        config = spec.to_config()
+        assert isinstance(config, ParkingLotConfig)
+        assert config.long_flows == 4
+        assert config.n_segments == 2
+        assert config.attack_segments == (0, 1)
+        payload = spec.describe()
+        assert payload["kind"] == "parking_lot"
+        assert ["attack_segments", [0, 1]] in payload["extra"]
+        hash(spec)  # stays hashable for the runner's memo
+
+    def test_extra_restricted_to_parking_lot(self):
+        with pytest.raises(ValidationError):
+            PlatformSpec(kind="dumbbell", n_flows=5, seed=1,
+                         extra=(("n_segments", 2),))
+
+    def test_fluid_backend_rejected(self):
+        spec = PlatformSpec(kind="parking_lot", n_flows=4, seed=2)
+        with pytest.raises(ValidationError):
+            Cell(platform=spec, warmup=1.0, window=2.0, backend="fluid")
+
+    def test_execute_cell_deterministic(self):
+        spec = PlatformSpec(
+            kind="parking_lot", n_flows=3, seed=4,
+            extra=(("cross_flows", 1),),
+        )
+        cell = Cell(
+            platform=spec, warmup=1.0, window=2.0,
+            train=PulseTrain.uniform(ms(75), mbps(25), 0.4, 6),
+        )
+        assert execute_cell(cell) == execute_cell(cell)
+
+
+# ----------------------------------------------------------------------
+# parking-lot construction details
+# ----------------------------------------------------------------------
+class TestParkingLotConfig:
+    def test_attack_span_must_be_contiguous(self):
+        with pytest.raises(ConfigurationError):
+            ParkingLotConfig(n_segments=3, attack_segments=(0, 2))
+        with pytest.raises(ConfigurationError):
+            ParkingLotConfig(n_segments=2, attack_segments=())
+        with pytest.raises(ConfigurationError):
+            ParkingLotConfig(n_segments=2, attack_segments=(1, 2))
+
+    def test_heterogeneous_rates_resolve(self):
+        config = ParkingLotConfig(
+            n_segments=2, segment_rates_bps=(mbps(10), mbps(20)),
+            attack_segments=(0, 1),
+        )
+        assert config.segment_rates() == (mbps(10), mbps(20))
+        assert config.attacked_rate_bps() == mbps(10)
+
+    def test_rtt_draws_are_seeded(self):
+        config = ParkingLotConfig(seed=9)
+        long_a, cross_a = config.draw_rtts()
+        long_b, cross_b = config.draw_rtts()
+        assert np.array_equal(long_a, long_b)
+        assert np.array_equal(cross_a, cross_b)
+        assert long_a.min() >= config.rtt_min
+        assert long_a.max() <= config.rtt_max
+
+    def test_network_paths_cross_expected_segments(self):
+        net = build_parking_lot(ParkingLotConfig(
+            n_segments=3, long_flows=2, cross_flows=1,
+            attack_segments=(1, 2),
+        ))
+        topo = net.topo
+        # A long flow's forward path crosses every chain segment.
+        path = topo.path(
+            net.long_sender_nodes[0].node_id,
+            net.long_receiver_nodes[0].node_id,
+        )
+        chain = [link for link in path if link in net.segment_links]
+        assert len(chain) == 3
+        # The attack path crosses exactly the attacked span.
+        attack_path = topo.path(
+            net.attacker_node.node_id, net.attack_sink_node.node_id,
+        )
+        attacked = [l for l in attack_path if l in net.segment_links]
+        assert attacked == [net.segment_links[1], net.segment_links[2]]

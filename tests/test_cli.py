@@ -12,6 +12,7 @@ class TestParser:
             "fig08", "fig09", "fig10", "fig12", "ablation-queues",
             "ablation-model", "ablation-victim", "flow-damage", "detection",
             "defense-rto", "defense-choke", "replication", "distributed", "mice-elephants",
+            "multi-bottleneck",
         }
         assert set(EXPERIMENTS) == expected
 
