@@ -36,10 +36,15 @@ def jain_fairness_index(allocations: Sequence[float]) -> float:
         raise ValidationError("need at least one allocation")
     if np.any(values < 0):
         raise ValidationError("allocations must be non-negative")
+    peak = values.max()
+    if peak == 0.0:
+        return 1.0
+    # Scale-invariant index: normalize by the peak so squaring tiny
+    # allocations cannot underflow into denormals and push the ratio
+    # past its [1/n, 1] bounds.
+    values = values / peak
     total_sq = values.sum() ** 2
     denom = values.size * (values ** 2).sum()
-    if denom == 0.0:
-        return 1.0
     return float(total_sq / denom)
 
 

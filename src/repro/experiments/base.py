@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import os
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -36,6 +35,7 @@ from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.tcp import TCPConfig, TCPVariant
 from repro.sim.topology import QUEUE_FACTORIES, DumbbellConfig
 from repro.testbed.dummynet import TestbedConfig
+from repro.util.env import env_flag
 from repro.util.errors import ValidationError
 from repro.util.validate import check_positive
 
@@ -57,7 +57,7 @@ __all__ = [
 
 def full_scale() -> bool:
     """True when ``REPRO_FULL=1``: run paper-scale sweeps."""
-    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+    return env_flag("REPRO_FULL")
 
 
 def default_gammas(n: Optional[int] = None) -> np.ndarray:

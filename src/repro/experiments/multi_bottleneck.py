@@ -32,7 +32,6 @@ size (seconds, not minutes).
 from __future__ import annotations
 
 import dataclasses
-import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +52,7 @@ from repro.runner import PlatformSpec
 from repro.sim.packet import FULL_PACKET_BYTES
 from repro.sim.tcp import TCPConfig
 from repro.sim.topology import QUEUE_FACTORIES, ParkingLotConfig
+from repro.util.env import env_flag
 from repro.util.errors import ValidationError
 from repro.util.units import mbps, ms
 
@@ -66,7 +66,7 @@ __all__ = [
 
 def smoke_scale() -> bool:
     """True when ``REPRO_SMOKE=1``: CI-smoke parameters (seconds)."""
-    return os.environ.get("REPRO_SMOKE", "0") not in ("", "0", "false", "no")
+    return env_flag("REPRO_SMOKE")
 
 
 class ParkingLotPlatform(_SweepPlatform):

@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import functools
 import json
-import os
 import pathlib
 import subprocess
 import time
 from typing import Iterator, List, Optional, Union
+
+from repro.util.env import env_flag
 
 __all__ = ["RunLogWriter", "read_run_log", "iter_records", "git_sha",
            "base_record"]
@@ -69,8 +70,7 @@ def base_record(record: str, name: str) -> dict:
         "name": name,
         "timestamp": time.time(),
         "git_sha": git_sha(),
-        "full": os.environ.get("REPRO_FULL", "0") not in ("", "0", "false",
-                                                          "no"),
+        "full": env_flag("REPRO_FULL"),
     }
 
 

@@ -75,7 +75,8 @@ CREATE TABLE IF NOT EXISTS cells (
     goodput_bytes REAL NOT NULL,
     goodput_rate REAL NOT NULL,
     converged_at REAL,
-    flagged_sources INTEGER
+    flagged_sources INTEGER,
+    worker TEXT
 );
 CREATE INDEX IF NOT EXISTS cells_by_key ON cells(key);
 CREATE INDEX IF NOT EXISTS cells_by_experiment ON cells(experiment_id);
@@ -180,9 +181,24 @@ class ExperimentStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._db = sqlite3.connect(str(self.path))
         self._db.executescript(_SCHEMA)
+        self._migrate()
         self._db.commit()
         self._run_id: Optional[int] = None
         self._experiment_id: Optional[int] = None
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing store file up to the current schema.
+
+        Additive only: columns the schema grew later (``cells.worker``,
+        the execution-placement attribution) are bolted onto old files
+        with NULLs for historical rows, so stores from earlier runs
+        stay queryable without a rebuild.
+        """
+        columns = {
+            row[1] for row in self._db.execute("PRAGMA table_info(cells)")
+        }
+        if "worker" not in columns:
+            self._db.execute("ALTER TABLE cells ADD COLUMN worker TEXT")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -269,14 +285,17 @@ class ExperimentStore:
 
     def record_cell(self, key: str, cell, result, *, source: str,
                     elapsed: Optional[float] = None,
-                    series: Optional[Iterable[Series]] = None) -> int:
+                    series: Optional[Iterable[Series]] = None,
+                    worker: Optional[str] = None) -> int:
         """Record one resolved cell (and its flight-recorder series).
 
         *cell*/*result* are the runner's
         :class:`~repro.runner.cells.Cell` /
         :class:`~repro.runner.cells.CellResult`; *source* says how the
         cell was resolved (``executed``/``cache``/``memo``), mirroring
-        the runner's own accounting.
+        the runner's own accounting.  *worker* attributes executed
+        cells to the process (``host:pid``) that measured them, so
+        straggler skew can be traced to its placement.
         """
         from repro.runner.cells import goodput_rate
 
@@ -285,14 +304,15 @@ class ExperimentStore:
         cursor = self._db.execute(
             "INSERT INTO cells (experiment_id, key, source, elapsed, spec,"
             " backend, kind, n_flows, seed, gamma, extent, rate_bps,"
-            " goodput_bytes, goodput_rate, converged_at, flagged_sources)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " goodput_bytes, goodput_rate, converged_at, flagged_sources,"
+            " worker)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (self._experiment_id, key, source, elapsed,
              json.dumps(spec, sort_keys=True), shape["backend"],
              shape["kind"], shape["n_flows"], shape["seed"],
              shape["gamma"], shape["extent"], shape["rate_bps"],
              float(result.goodput_bytes), goodput_rate(cell, result),
-             result.converged_at, result.flagged_sources),
+             result.converged_at, result.flagged_sources, worker),
         )
         cell_id = int(cursor.lastrowid)
         for item in series or ():
@@ -443,15 +463,38 @@ class ExperimentStore:
 
     def slowest_cells(self, limit: int = 10) -> Tuple[List[str],
                                                       List[tuple]]:
-        """The most expensive executed cells, by wall-clock time."""
+        """The most expensive executed cells, by wall-clock time.
+
+        Includes the executing worker (``host:pid``), so straggler skew
+        is attributable: a tail dominated by one worker id points at a
+        slow host or an unlucky lease, not at the scenarios themselves.
+        """
         return self.query(
             "SELECT substr(c.key, 1, 12) AS key, COALESCE(e.name, '-')"
             " AS experiment, c.backend, c.n_flows, c.seed,"
-            " round(c.gamma, 4) AS gamma, round(c.elapsed, 3) AS elapsed_s"
+            " round(c.gamma, 4) AS gamma, round(c.elapsed, 3) AS elapsed_s,"
+            " COALESCE(c.worker, '-') AS worker"
             " FROM cells c LEFT JOIN experiments e"
             " ON c.experiment_id = e.experiment_id"
             " WHERE c.source = 'executed'"
             " ORDER BY c.elapsed DESC LIMIT ?", (limit,))
+
+    def workers(self) -> Tuple[List[str], List[tuple]]:
+        """Per-worker execution rollup (straggler-skew attribution).
+
+        One row per distinct worker id that executed cells: how many,
+        how much wall time, and the mean/max per-cell cost.  A worker
+        whose mean is far above the rest is the straggler; whether its
+        cells are intrinsically heavier shows up in ``slowest-cells``.
+        """
+        return self.query(
+            "SELECT COALESCE(c.worker, '-') AS worker,"
+            " count(*) AS cells,"
+            " round(sum(c.elapsed), 3) AS busy_s,"
+            " round(avg(c.elapsed), 3) AS mean_s,"
+            " round(max(c.elapsed), 3) AS max_s"
+            " FROM cells c WHERE c.source = 'executed'"
+            " GROUP BY c.worker ORDER BY busy_s DESC")
 
     def cache_hits(self) -> Tuple[List[str], List[tuple]]:
         """Per-experiment cell accounting by resolution source."""
@@ -547,6 +590,8 @@ CANNED_QUERIES = {
                    "measured peak-γ per gain-sweep series"),
     "slowest-cells": ("slowest_cells",
                       "most expensive executed cells by wall time"),
+    "workers": ("workers",
+                "per-worker execution rollup (straggler attribution)"),
     "cache-hits": ("cache_hits",
                    "per-experiment cell accounting by source"),
     "drop-sync": ("drop_sync",

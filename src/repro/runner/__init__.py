@@ -28,6 +28,7 @@ from repro.runner.cache import (
 )
 from repro.runner.cells import (
     Cell,
+    CellOutcome,
     CellResult,
     DeploymentSpec,
     GroupResult,
@@ -35,8 +36,17 @@ from repro.runner.cells import (
     execute_cell,
     execute_cell_group,
     goodput_rate,
+    iter_cell_group,
     measured_seconds,
     warmup_key,
+)
+from repro.runner.fabric import (
+    DEFAULT_LEASE_TTL,
+    FabricBroker,
+    FabricError,
+    LeaseQueue,
+    local_worker_id,
+    worker_main,
 )
 from repro.runner.planner import (
     PlannedPoint,
@@ -48,7 +58,9 @@ from repro.runner.planner import (
 )
 from repro.runner.runner import (
     CellTiming,
+    DryRunPlan,
     ExperimentRunner,
+    PlanEntry,
     RunnerStats,
     check_jobs,
     get_default_runner,
@@ -57,11 +69,18 @@ from repro.runner.runner import (
 
 __all__ = [
     "Cell",
+    "CellOutcome",
     "CellResult",
     "CellTiming",
+    "DEFAULT_LEASE_TTL",
     "DeploymentSpec",
+    "DryRunPlan",
     "ExperimentRunner",
+    "FabricBroker",
+    "FabricError",
     "GroupResult",
+    "LeaseQueue",
+    "PlanEntry",
     "PlannedPoint",
     "PlannedSweep",
     "PlannerPolicy",
@@ -78,8 +97,11 @@ __all__ = [
     "fast_mode",
     "get_default_runner",
     "goodput_rate",
+    "iter_cell_group",
+    "local_worker_id",
     "measured_seconds",
     "run_planned_sweep",
     "set_default_runner",
     "warmup_key",
+    "worker_main",
 ]

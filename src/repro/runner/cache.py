@@ -27,6 +27,7 @@ import tempfile
 from typing import Optional
 
 from repro.runner.cells import Cell, CellResult
+from repro.util.env import env_str
 
 __all__ = ["ResultCache", "cell_key", "code_version", "default_cache_dir"]
 
@@ -81,10 +82,10 @@ def cell_key(cell: Cell, version: Optional[str] = None) -> str:
 
 def default_cache_dir() -> pathlib.Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-pdos``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = env_str("REPRO_CACHE_DIR")
     if env:
         return pathlib.Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME")
+    xdg = env_str("XDG_CACHE_HOME")
     root = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
     return root / "repro-pdos"
 

@@ -1,0 +1,781 @@
+"""Work-stealing execution fabric: a durable lease queue plus workers.
+
+The single-host runner executes cache-missing cells inline or through a
+``ProcessPoolExecutor``.  Both paths push *statically chunked* work at
+workers; one slow warm-up group (a straggler) idles every other worker
+for the tail of the batch.  The fabric inverts the dispatch: the broker
+*materializes* a batch into a durable sqlite **lease queue** and workers
+*pull* -- each worker leases the oldest pending group, executes it, and
+comes back for more, so fast workers automatically steal the work a
+slow (or dead) worker never got to.
+
+Design points, in the order they matter:
+
+* **Steal granularity is a whole warm-start group.**  Tasks sharing a
+  :func:`~repro.runner.cells.warmup_key` are enqueued as one group and
+  leased as one group, so the shared warm-up prefix simulates exactly
+  once per lease wherever the group lands (fork locality).  Stealing
+  single cells would re-pay the warm-up per steal.
+* **Leases expire; expiry is the crash signal.**  A lease carries a
+  deadline; the executing worker heartbeats it forward.  A worker that
+  dies (SIGKILL, OOM, lost host) simply stops heartbeating and the
+  group re-enters the pending state -- reclaimed inline by the next
+  ``lease()`` call or by the broker's poll loop, whichever comes first.
+  No daemon, no janitor process.
+* **Completion is idempotent.**  Every task is keyed by the cell's
+  content hash (:func:`~repro.runner.cache.cell_key`).  Cells are
+  deterministic, so if an expired lease's worker turns out to be alive
+  (a stall, not a crash) and both it and the stealer finish the same
+  task, the two results are bit-identical and the second write is a
+  harmless overwrite.  Nothing needs fencing.
+* **Results stream back incrementally.**  Workers persist each cell's
+  result the moment it exists (mid-group, via
+  :func:`~repro.runner.cells.iter_cell_group`), and the broker absorbs
+  completed tasks while the batch is still running -- runner statistics
+  advance as results land, not at batch barriers.
+* **The queue is the only coordination channel.**  Local workers are
+  spawned processes; remote workers (``repro worker --queue PATH``)
+  need nothing but read/write access to the same sqlite file.  sqlite's
+  locking does the rest (WAL + ``BEGIN IMMEDIATE`` claims).
+
+Determinism: execution placement and steal order affect *which process*
+runs a cell, never its result -- cells rebuild their scenario from
+their spec and results are keyed by content hash, so a fabric run is
+bit-identical to the serial path regardless of interleaving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import os
+import pickle
+import socket
+import sqlite3
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cells import Cell, iter_cell_group
+from repro.util.errors import ReproError, ValidationError
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "FabricBatchStats",
+    "FabricBroker",
+    "FabricError",
+    "LeaseQueue",
+    "LeasedGroup",
+    "local_worker_id",
+    "worker_main",
+]
+
+_log = logging.getLogger("repro.fabric")
+
+#: Default lease time-to-live, seconds.  Generous relative to heartbeat
+#: cadence (ttl/3) so a paging stall is not mistaken for a crash; small
+#: enough that a genuinely dead worker's group is stolen promptly.
+DEFAULT_LEASE_TTL = 30.0
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+class FabricError(ReproError):
+    """A fabric task failed on a worker (the error text rides along)."""
+
+
+def local_worker_id() -> str:
+    """This process's worker identity: ``hostname:pid``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS groups (
+    group_id       INTEGER PRIMARY KEY,
+    batch_id       INTEGER NOT NULL,
+    warmup_key     TEXT NOT NULL,
+    state          TEXT NOT NULL DEFAULT 'pending',
+    worker         TEXT,
+    lease_deadline REAL,
+    attempts       INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS groups_by_state ON groups(state, group_id);
+CREATE TABLE IF NOT EXISTS tasks (
+    task_id     INTEGER PRIMARY KEY,
+    group_id    INTEGER NOT NULL REFERENCES groups(group_id),
+    batch_id    INTEGER NOT NULL,
+    idx         INTEGER NOT NULL,
+    key         TEXT NOT NULL,
+    cell        BLOB NOT NULL,
+    state       TEXT NOT NULL DEFAULT 'pending',
+    result      BLOB,
+    error       TEXT,
+    elapsed     REAL,
+    warm        INTEGER,
+    worker      TEXT,
+    finished_at REAL,
+    absorbed    INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS tasks_by_group ON tasks(group_id, idx);
+CREATE INDEX IF NOT EXISTS tasks_by_batch ON tasks(batch_id, state, absorbed);
+CREATE INDEX IF NOT EXISTS tasks_by_key ON tasks(key, state);
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class LeasedGroup:
+    """One leased warm-start group: the worker's unit of execution.
+
+    ``task_ids``/``keys``/``payloads`` are parallel, ordered by the
+    group's original cell order (``idx``), restricted to tasks not yet
+    done -- a stolen group re-executes only what its first worker never
+    finished persisting.
+    """
+
+    group_id: int
+    batch_id: int
+    warmup_key: str
+    attempts: int
+    task_ids: Tuple[int, ...]
+    keys: Tuple[str, ...]
+    payloads: Tuple[bytes, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletedTask:
+    """One finished task row, as the broker absorbs it."""
+
+    task_id: int
+    key: str
+    result: Optional[bytes]
+    error: Optional[str]
+    elapsed: Optional[float]
+    warm: Optional[bool]
+    worker: Optional[str]
+
+
+class LeaseQueue:
+    """The durable sqlite lease queue -- every fabric role opens one.
+
+    One connection per instance, and instances are **not** shareable
+    across threads or across ``fork()``: each worker process and each
+    heartbeat thread opens its own.  All multi-statement operations run
+    under ``BEGIN IMMEDIATE`` so claims are serialized; WAL mode keeps
+    readers (the broker's poll) off the writers' lock.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._db = sqlite3.connect(self.path, timeout=30.0,
+                                   isolation_level=None)
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.execute("PRAGMA busy_timeout=30000")
+        # executescript manages its own transaction (it commits any
+        # open one first), so the schema is applied outside _txn().
+        self._db.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _txn(self):
+        return _ImmediateTransaction(self._db)
+
+    def close(self) -> None:
+        self._db.close()
+
+    # ------------------------------------------------------------------
+    # lifecycle state
+    # ------------------------------------------------------------------
+    def set_state(self, state: str) -> None:
+        """Mark the queue ``open`` (accepting work) or ``closed``."""
+        if state not in ("open", "closed"):
+            raise ValidationError(
+                f"queue state must be 'open' or 'closed', got {state!r}"
+            )
+        with self._txn():
+            self._db.execute(
+                "INSERT INTO meta (key, value) VALUES ('state', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (state,),
+            )
+
+    def is_closed(self) -> bool:
+        """Whether the broker declared the queue finished.
+
+        Workers use this as their exit signal: an idle worker on a
+        closed queue terminates instead of polling forever.
+        """
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'state'"
+        ).fetchone()
+        return row is not None and row[0] == "closed"
+
+    # ------------------------------------------------------------------
+    # broker side
+    # ------------------------------------------------------------------
+    def enqueue_batch(
+        self,
+        units: Sequence[Tuple[str, Sequence[Tuple[str, bytes]]]],
+    ) -> Tuple[int, Dict[str, CompletedTask]]:
+        """Materialize one batch; reuse durable results from prior runs.
+
+        *units* is ``[(warmup_key, [(cell_key, payload), ...]), ...]``.
+        Tasks whose content key already has a completed, error-free
+        result in this queue file (a previous crashed/killed run of the
+        same experiment) are **not** re-enqueued -- their results are
+        returned in the reuse map instead.  The content key embeds the
+        code-version fingerprint, so stale results cannot be reused.
+        Groups left empty by reuse are skipped entirely.
+        """
+        every_key = [key for _, items in units for key, _ in items]
+        reused: Dict[str, CompletedTask] = {}
+        with self._txn():
+            for key in every_key:
+                row = self._db.execute(
+                    "SELECT task_id, result, elapsed, warm, worker "
+                    "FROM tasks WHERE key = ? AND state = 'done' "
+                    "AND error IS NULL AND result IS NOT NULL "
+                    "ORDER BY finished_at DESC LIMIT 1",
+                    (key,),
+                ).fetchone()
+                if row is not None:
+                    reused[key] = CompletedTask(
+                        task_id=row[0], key=key, result=row[1], error=None,
+                        elapsed=row[2],
+                        warm=None if row[3] is None else bool(row[3]),
+                        worker=row[4],
+                    )
+            batch_id = self._next_batch_locked()
+            for warmup_key, items in units:
+                remaining = [(k, blob) for k, blob in items
+                             if k not in reused]
+                if not remaining:
+                    continue
+                cursor = self._db.execute(
+                    "INSERT INTO groups (batch_id, warmup_key) VALUES (?, ?)",
+                    (batch_id, warmup_key),
+                )
+                group_id = cursor.lastrowid
+                self._db.executemany(
+                    "INSERT INTO tasks (group_id, batch_id, idx, key, cell) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    [(group_id, batch_id, idx, key, blob)
+                     for idx, (key, blob) in enumerate(remaining)],
+                )
+        return batch_id, reused
+
+    def _next_batch_locked(self) -> int:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'next_batch'"
+        ).fetchone()
+        batch_id = int(row[0]) if row is not None else 1
+        self._db.execute(
+            "INSERT INTO meta (key, value) VALUES ('next_batch', ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (str(batch_id + 1),),
+        )
+        return batch_id
+
+    def reclaim_expired(self, now: Optional[float] = None) -> int:
+        """Re-queue groups whose lease deadline has passed.
+
+        Returns the number of groups reclaimed.  Also called inline by
+        :meth:`lease`, so workers are self-sufficient -- the broker's
+        calls only make reclaim prompt when every worker is busy.
+        """
+        now = time.time() if now is None else now
+        with self._txn():
+            return self._reclaim_locked(now)
+
+    def _reclaim_locked(self, now: float) -> int:
+        cursor = self._db.execute(
+            "UPDATE groups SET state = 'pending', worker = NULL, "
+            "lease_deadline = NULL "
+            "WHERE state = 'leased' AND lease_deadline < ?",
+            (now,),
+        )
+        return cursor.rowcount
+
+    def take_completed(self, batch_id: int) -> List[CompletedTask]:
+        """Absorb (once) every newly completed task of *batch_id*.
+
+        Marks the returned rows absorbed, so repeated polling never
+        yields a task twice even when an idempotent duplicate execution
+        overwrites an already-absorbed row.
+        """
+        with self._txn():
+            rows = self._db.execute(
+                "SELECT task_id, key, result, error, elapsed, warm, worker "
+                "FROM tasks WHERE batch_id = ? AND state = 'done' "
+                "AND absorbed = 0 ORDER BY task_id",
+                (batch_id,),
+            ).fetchall()
+            if rows:
+                self._db.executemany(
+                    "UPDATE tasks SET absorbed = 1 WHERE task_id = ?",
+                    [(row[0],) for row in rows],
+                )
+        return [
+            CompletedTask(
+                task_id=row[0], key=row[1], result=row[2], error=row[3],
+                elapsed=row[4],
+                warm=None if row[5] is None else bool(row[5]),
+                worker=row[6],
+            )
+            for row in rows
+        ]
+
+    def batch_progress(self, batch_id: int) -> Tuple[int, int]:
+        """``(done, total)`` task counts for one batch."""
+        row = self._db.execute(
+            "SELECT COUNT(*) FILTER (WHERE state = 'done'), COUNT(*) "
+            "FROM tasks WHERE batch_id = ?",
+            (batch_id,),
+        ).fetchone()
+        return int(row[0]), int(row[1])
+
+    def requeued_groups(self, batch_id: int) -> int:
+        """Groups of *batch_id* leased more than once (crash steals)."""
+        row = self._db.execute(
+            "SELECT COUNT(*) FROM groups WHERE batch_id = ? AND attempts > 1",
+            (batch_id,),
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def lease(self, worker: str,
+              ttl: float = DEFAULT_LEASE_TTL) -> Optional[LeasedGroup]:
+        """Claim the oldest pending group, or ``None`` when idle.
+
+        Expired leases are reclaimed first (inline -- workers never
+        depend on the broker to unstick a crashed peer).  The claim and
+        the reclaim share one ``BEGIN IMMEDIATE`` transaction, so two
+        workers can never lease the same group.  Groups whose tasks all
+        turn out to be done (a stall's lease expired *after* its worker
+        finished persisting everything) are closed out here instead of
+        being handed to a worker.
+        """
+        now = time.time()
+        with self._txn():
+            self._reclaim_locked(now)
+            while True:
+                row = self._db.execute(
+                    "SELECT group_id, batch_id, warmup_key, attempts "
+                    "FROM groups WHERE state = 'pending' "
+                    "ORDER BY group_id LIMIT 1"
+                ).fetchone()
+                if row is None:
+                    return None
+                group_id, batch_id, warmup_key, attempts = row
+                tasks = self._db.execute(
+                    "SELECT task_id, key, cell FROM tasks "
+                    "WHERE group_id = ? AND state != 'done' ORDER BY idx",
+                    (group_id,),
+                ).fetchall()
+                if not tasks:
+                    self._db.execute(
+                        "UPDATE groups SET state = 'done', worker = NULL, "
+                        "lease_deadline = NULL WHERE group_id = ?",
+                        (group_id,),
+                    )
+                    continue
+                self._db.execute(
+                    "UPDATE groups SET state = 'leased', worker = ?, "
+                    "lease_deadline = ?, attempts = attempts + 1 "
+                    "WHERE group_id = ?",
+                    (worker, now + ttl, group_id),
+                )
+                return LeasedGroup(
+                    group_id=group_id,
+                    batch_id=batch_id,
+                    warmup_key=warmup_key,
+                    attempts=attempts + 1,
+                    task_ids=tuple(t[0] for t in tasks),
+                    keys=tuple(t[1] for t in tasks),
+                    payloads=tuple(t[2] for t in tasks),
+                )
+
+    def heartbeat(self, group_id: int, worker: str,
+                  ttl: float = DEFAULT_LEASE_TTL) -> bool:
+        """Extend *worker*'s lease on *group_id*; False if it was lost.
+
+        A lost heartbeat (the lease expired and was stolen) is not an
+        error -- the worker may finish the group anyway; completions are
+        idempotent -- but the False return lets it stop early if it
+        wants to.
+        """
+        with self._txn():
+            cursor = self._db.execute(
+                "UPDATE groups SET lease_deadline = ? "
+                "WHERE group_id = ? AND worker = ? AND state = 'leased'",
+                (time.time() + ttl, group_id, worker),
+            )
+            return cursor.rowcount == 1
+
+    def complete_task(self, task_id: int, result: bytes, *,
+                      elapsed: float, warm: bool, worker: str) -> None:
+        """Persist one task's result (idempotent by determinism)."""
+        with self._txn():
+            self._db.execute(
+                "UPDATE tasks SET state = 'done', result = ?, error = NULL, "
+                "elapsed = ?, warm = ?, worker = ?, finished_at = ? "
+                "WHERE task_id = ?",
+                (result, elapsed, int(warm), worker, time.time(), task_id),
+            )
+
+    def fail_task(self, task_id: int, error: str, *, worker: str) -> None:
+        """Persist one task's failure; the broker raises on absorption."""
+        with self._txn():
+            self._db.execute(
+                "UPDATE tasks SET state = 'done', result = NULL, error = ?, "
+                "worker = ?, finished_at = ? WHERE task_id = ?",
+                (error, worker, time.time(), task_id),
+            )
+
+    def task_state(self, task_id: int) -> Optional[str]:
+        """One task's state (``pending``/``done``), ``None`` if unknown."""
+        row = self._db.execute(
+            "SELECT state FROM tasks WHERE task_id = ?", (task_id,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def complete_group(self, group_id: int, worker: str) -> None:
+        """Release *worker*'s lease after it finished the group.
+
+        A no-op when the lease was already stolen -- the group is then
+        owned by (or pending for) someone else, and every task this
+        worker completed is durably persisted regardless.
+        """
+        with self._txn():
+            self._db.execute(
+                "UPDATE groups SET state = 'done', lease_deadline = NULL "
+                "WHERE group_id = ? AND worker = ? AND state = 'leased'",
+                (group_id, worker),
+            )
+
+
+class _ImmediateTransaction:
+    """``with`` helper: BEGIN IMMEDIATE / COMMIT / ROLLBACK on error."""
+
+    def __init__(self, db: sqlite3.Connection) -> None:
+        self._db = db
+
+    def __enter__(self):
+        self._db.execute("BEGIN IMMEDIATE")
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._db.execute("COMMIT")
+        else:
+            self._db.execute("ROLLBACK")
+
+
+# ----------------------------------------------------------------------
+# worker
+# ----------------------------------------------------------------------
+class _Heartbeat(threading.Thread):
+    """Extends one lease every ttl/3 seconds until stopped.
+
+    Owns a private :class:`LeaseQueue` connection (sqlite connections
+    are not thread-shareable), opened lazily inside the thread.
+    """
+
+    def __init__(self, path: str, group_id: int, worker: str,
+                 ttl: float) -> None:
+        super().__init__(daemon=True, name=f"lease-heartbeat-{group_id}")
+        self._path = path
+        self._group_id = group_id
+        self._worker = worker
+        self._ttl = ttl
+        # Not named _stop: Thread itself has a private _stop() method
+        # that join() calls internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        queue = LeaseQueue(self._path)
+        try:
+            while not self._halt.wait(self._ttl / 3.0):
+                try:
+                    queue.heartbeat(self._group_id, self._worker, self._ttl)
+                except sqlite3.Error:
+                    # A transient lock blip must not kill the beat; the
+                    # next tick retries, and the TTL absorbs one miss.
+                    pass
+        finally:
+            queue.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+def _execute_lease(queue: LeaseQueue, lease: LeasedGroup,
+                   worker: str, ttl: float) -> None:
+    """Run one leased group, streaming each result into the queue.
+
+    Payloads are normally pickled :class:`Cell`\\ s, executed through
+    the streaming warm-start group executor.  Any other payload must be
+    a zero-argument callable returning a picklable value -- the seam
+    the dispatch benchmark and the queue's own tests use to measure
+    fabric scheduling without simulating networks.
+    """
+    beat = _Heartbeat(queue.path, lease.group_id, worker, ttl)
+    beat.start()
+    try:
+        items = [pickle.loads(blob) for blob in lease.payloads]
+        if items and all(isinstance(item, Cell) for item in items):
+            outcomes = iter_cell_group(items)
+        else:
+            outcomes = _run_callables(items)
+        for outcome in outcomes:
+            queue.complete_task(
+                lease.task_ids[outcome.index],
+                pickle.dumps(outcome.result, _PICKLE),
+                elapsed=outcome.elapsed,
+                warm=outcome.warm,
+                worker=worker,
+            )
+    except BaseException:
+        # Attribute the failure to the first unfinished task: the
+        # streaming executor completes tasks strictly in order.
+        failed = next(
+            (task_id for task_id in lease.task_ids
+             if queue.task_state(task_id) != "done"), None,
+        )
+        if failed is not None:
+            queue.fail_task(failed, traceback.format_exc(), worker=worker)
+        raise
+    finally:
+        beat.stop()
+        beat.join(timeout=5.0)
+    queue.complete_group(lease.group_id, worker)
+
+
+@dataclasses.dataclass(frozen=True)
+class _CallableOutcome:
+    index: int
+    result: object
+    elapsed: float
+    warm: bool = False
+
+
+def _run_callables(items):
+    for index, item in enumerate(items):
+        started = time.perf_counter()
+        result = item()
+        yield _CallableOutcome(index, result,
+                               time.perf_counter() - started)
+
+
+def worker_main(queue_path, *, worker_id: Optional[str] = None,
+                ttl: float = DEFAULT_LEASE_TTL, poll: float = 0.2,
+                once: bool = False,
+                max_groups: Optional[int] = None) -> int:
+    """A fabric worker's whole life: lease, execute, repeat.
+
+    Blocks until the broker closes the queue (or, with ``once=True``,
+    until no group is leasable right now -- the drain mode tests use to
+    interleave deterministically).  Returns the number of groups served.
+    Task-level failures are persisted and re-raised: a worker that hit
+    a real error (not a crash) dies loudly, and the broker both sees
+    the task error and respawns the worker.
+    """
+    queue = LeaseQueue(queue_path)
+    me = worker_id if worker_id is not None else local_worker_id()
+    served = 0
+    try:
+        while True:
+            if max_groups is not None and served >= max_groups:
+                break
+            lease = queue.lease(me, ttl)
+            if lease is None:
+                if once or queue.is_closed():
+                    break
+                time.sleep(poll)
+                continue
+            _execute_lease(queue, lease, me, ttl)
+            served += 1
+    finally:
+        queue.close()
+    return served
+
+
+def _worker_process(queue_path: str, ttl: float, poll: float) -> None:
+    """Entry point for broker-spawned local worker processes."""
+    logging.basicConfig(level=logging.WARNING)
+    worker_main(queue_path, ttl=ttl, poll=poll)
+
+
+# ----------------------------------------------------------------------
+# broker
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class FabricBatchStats:
+    """What one fabric batch cost: placement accounting for the runner."""
+
+    executed: int
+    reused: int
+    requeued_groups: int
+    wall_seconds: float
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class FabricBroker:
+    """Materializes batches into the lease queue and absorbs results.
+
+    With ``spawn_workers > 0`` the broker keeps that many local worker
+    processes alive (respawning any that die -- crash recovery is lease
+    expiry, not process babysitting, but a dead worker still needs a
+    replacement to keep parallelism up).  With ``spawn_workers=0`` the
+    broker only enqueues and absorbs; execution is entirely up to
+    external ``repro worker --queue PATH`` processes.
+    """
+
+    def __init__(self, queue_path, spawn_workers: int, *,
+                 ttl: float = DEFAULT_LEASE_TTL, poll: float = 0.05,
+                 worker_poll: float = 0.05) -> None:
+        if spawn_workers < 0:
+            raise ValidationError(
+                f"spawn_workers must be >= 0, got {spawn_workers}"
+            )
+        self.queue_path = str(queue_path)
+        self.queue = LeaseQueue(self.queue_path)
+        self.queue.set_state("open")
+        self.spawn_workers = spawn_workers
+        self.ttl = ttl
+        self.poll = poll
+        self.worker_poll = worker_poll
+        self._procs: List = []
+        self._respawns = 0
+
+    # -- worker management --------------------------------------------
+    def ensure_workers(self) -> None:
+        """(Re)spawn local workers up to the configured count."""
+        alive = [p for p in self._procs if p.is_alive()]
+        self._respawns += sum(
+            1 for p in self._procs if not p.is_alive() and p.exitcode != 0
+        )
+        self._procs = alive
+        context = _mp_context()
+        while len(self._procs) < self.spawn_workers:
+            process = context.Process(
+                target=_worker_process,
+                args=(self.queue_path, self.ttl, self.worker_poll),
+                daemon=True,
+            )
+            process.start()
+            self._procs.append(process)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of currently live broker-spawned workers."""
+        return [p.pid for p in self._procs if p.is_alive()]
+
+    # -- batch execution ----------------------------------------------
+    def run_batch(
+        self,
+        units: Sequence[Tuple[str, Sequence[Tuple[str, Cell]]]],
+        on_result: Callable[[str, Cell, object, float, Optional[str],
+                             Optional[bool]], None],
+    ) -> FabricBatchStats:
+        """Execute one batch of warm-start groups through the fabric.
+
+        *units* is ``[(warmup_key, [(cell_key, cell), ...]), ...]`` --
+        the runner's planned groups, one queue group each.  *on_result*
+        is invoked once per cell, **as results land**, with
+        ``(key, cell, result, elapsed, worker, warm)``; invocation
+        order follows completion order, which is placement-dependent --
+        callers must not derive anything order-sensitive from it (the
+        runner keys everything by content hash).
+
+        Raises :class:`FabricError` if any task failed on a worker.
+        """
+        cells_by_key: Dict[str, Cell] = {}
+        payload_units = []
+        for warmup_key, items in units:
+            encoded = []
+            for key, cell in items:
+                cells_by_key[key] = cell
+                encoded.append((key, pickle.dumps(cell, _PICKLE)))
+            payload_units.append((warmup_key, encoded))
+
+        started = time.perf_counter()
+        batch_id, reused = self.queue.enqueue_batch(payload_units)
+        remaining = set(cells_by_key) - set(reused)
+        for key, row in reused.items():
+            on_result(key, cells_by_key[key], pickle.loads(row.result),
+                      row.elapsed or 0.0, row.worker, row.warm)
+        if _log.isEnabledFor(logging.INFO):
+            _log.info(
+                "[fabric batch %d: %d cells in %d groups (%d reused from "
+                "queue)]", batch_id, len(cells_by_key), len(payload_units),
+                len(reused),
+            )
+
+        executed = 0
+        last_report = time.monotonic()
+        while remaining:
+            self.ensure_workers()
+            self.queue.reclaim_expired()
+            absorbed = self.queue.take_completed(batch_id)
+            for row in absorbed:
+                if row.error is not None:
+                    raise FabricError(
+                        f"fabric task {row.key[:12]} failed on worker "
+                        f"{row.worker}:\n{row.error}"
+                    )
+                if row.key in remaining:
+                    remaining.discard(row.key)
+                    executed += 1
+                    on_result(row.key, cells_by_key[row.key],
+                              pickle.loads(row.result), row.elapsed or 0.0,
+                              row.worker, row.warm)
+            now = time.monotonic()
+            if now - last_report >= 2.0 and _log.isEnabledFor(logging.INFO):
+                done, total = self.queue.batch_progress(batch_id)
+                _log.info("[fabric batch %d: %d/%d cells done, %d workers "
+                          "live]", batch_id, done, total,
+                          len(self.worker_pids()))
+                last_report = now
+            if not absorbed:
+                time.sleep(self.poll)
+
+        return FabricBatchStats(
+            executed=executed,
+            reused=len(reused),
+            requeued_groups=self.queue.requeued_groups(batch_id),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # -- teardown ------------------------------------------------------
+    def close(self) -> None:
+        """Close the queue and retire local workers.
+
+        Marking the queue closed is what stops idle workers; stragglers
+        are terminated after a grace period.  External workers see the
+        closed flag on their next idle poll and exit on their own.
+        """
+        self.queue.set_state("closed")
+        for process in self._procs:
+            process.join(timeout=2.0 + self.ttl / 3.0)
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        self._procs = []
+        self.queue.close()

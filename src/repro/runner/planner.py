@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,6 +44,7 @@ from repro.core.throughput import c_psi
 from repro.runner.cells import Cell, goodput_rate
 from repro.runner.runner import ExperimentRunner, get_default_runner
 from repro.sim.convergence import ConvergenceConfig
+from repro.util.env import env_flag
 from repro.util.errors import ValidationError
 from repro.util.validate import check_positive
 
@@ -166,8 +166,7 @@ FAST_POLICY = PlannerPolicy(fluid_prepass=True)
 
 def fast_mode() -> bool:
     """True when ``REPRO_FAST=1``: figure drivers use the planner."""
-    value = os.environ.get("REPRO_FAST", "").strip().lower()
-    return value in ("1", "true", "yes", "on")
+    return env_flag("REPRO_FAST")
 
 
 def active_policy() -> Optional[PlannerPolicy]:
@@ -180,8 +179,7 @@ def active_policy() -> Optional[PlannerPolicy]:
     """
     if not fast_mode():
         return None
-    value = os.environ.get("REPRO_NO_FLUID", "").strip().lower()
-    if value in ("1", "true", "yes", "on"):
+    if env_flag("REPRO_NO_FLUID"):
         return dataclasses.replace(FAST_POLICY, fluid_prepass=False)
     return FAST_POLICY
 

@@ -31,11 +31,16 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import hashlib
+import json
 import logging
 import math
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import metrics as _obs_metrics
@@ -48,10 +53,12 @@ from repro.runner.cells import (
     execute_cell_group,
     warmup_key,
 )
+from repro.util.env import env_flag, env_int, env_str
 from repro.util.errors import ValidationError
 
-__all__ = ["CellTiming", "RunnerStats", "ExperimentRunner", "check_jobs",
-           "get_default_runner", "set_default_runner"]
+__all__ = ["CellTiming", "DryRunPlan", "PlanEntry", "RunnerStats",
+           "ExperimentRunner", "check_jobs", "get_default_runner",
+           "set_default_runner"]
 
 _log = logging.getLogger("repro.runner")
 
@@ -124,6 +131,11 @@ class RunnerStats:
     parallel_busy_seconds: float = 0.0
     #: workers x wall for each parallel batch (the available capacity).
     parallel_worker_seconds: float = 0.0
+    #: batches dispatched through the work-stealing fabric.
+    fabric_batches: int = 0
+    #: warm-start groups a fabric batch re-queued after a lease expired
+    #: (a worker crashed or stalled and its work was stolen).
+    fabric_requeues: int = 0
 
     def record(self, key: str, source: str, elapsed: float = 0.0) -> None:
         self.timings.append(CellTiming(key=key, source=source, elapsed=elapsed))
@@ -208,6 +220,8 @@ class RunnerStats:
             "parallel_wall_seconds": self.parallel_wall_seconds,
             "parallel_busy_seconds": self.parallel_busy_seconds,
             "worker_utilization": self.worker_utilization,
+            "fabric_batches": self.fabric_batches,
+            "fabric_requeues": self.fabric_requeues,
         })
         return snap
 
@@ -260,9 +274,95 @@ def _execute_unit(cells: Tuple[Cell, ...],
     With *record* set each packet cell carries a flight recorder and
     the returned :class:`GroupResult` ships the harvested series blobs
     back by value -- workers never touch the sqlite store; the parent
-    process owns the only connection.
+    process owns the only connection.  The result is stamped with the
+    executing process's worker identity so straggler analysis
+    (``repro obs query slowest-cells``) can attribute placement.
     """
-    return execute_cell_group(cells, record=record)
+    from repro.runner.fabric import local_worker_id
+
+    group = execute_cell_group(cells, record=record)
+    return dataclasses.replace(group, worker=local_worker_id())
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanEntry:
+    """One planned cell in a dry run: how it *would* resolve."""
+
+    key: str
+    warmup_key: str
+    status: str  #: "execute", "cache", or "memo"
+    cell: Cell
+
+
+class DryRunPlan:
+    """What a dry-run runner would have done, batch by batch.
+
+    Collected instead of executing when :attr:`ExperimentRunner.dry_run`
+    is set; rendered by the CLI's ``--dry-run``.  One entry per distinct
+    content key; intra-batch duplicates only bump :attr:`duplicates`.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[PlanEntry] = []
+        self.duplicates = 0
+        self.batches = 0
+
+    def add(self, key: str, wkey: str, status: str, cell: Cell) -> None:
+        self.entries.append(PlanEntry(key, wkey, status, cell))
+
+    def render(self, start: int = 0,
+               duplicates: Optional[int] = None) -> str:
+        """Human-readable plan for entries from *start* onward.
+
+        *duplicates* overrides the reported duplicate count (callers
+        rendering a window of the plan pass the delta they observed).
+        """
+        entries = self.entries[start:]
+        if not entries:
+            return "dry run: no cells planned"
+        counts = Counter(entry.status for entry in entries)
+        head = (
+            f"dry run: {len(entries)} cells planned -- "
+            f"{counts.get('execute', 0)} to execute, "
+            f"{counts.get('cache', 0)} cache hits, "
+            f"{counts.get('memo', 0)} memo hits"
+        )
+        duplicates = self.duplicates if duplicates is None else duplicates
+        if duplicates:
+            head += f" (+{duplicates} duplicate cells batch-wide)"
+        lines = [head]
+        groups: Dict[str, List[PlanEntry]] = {}
+        for entry in entries:
+            if entry.status == "execute":
+                groups.setdefault(entry.warmup_key, []).append(entry)
+        lines.append(f"warm-up prefixes to simulate: {len(groups)}")
+        for wkey, members in groups.items():
+            tag = hashlib.sha256(wkey.encode()).hexdigest()[:8]
+            info = json.loads(wkey)
+            platform = info.get("platform") or {}
+            fields = " ".join(
+                f"{name}={platform[name]}"
+                for name in ("kind", "n_flows", "seed")
+                if name in platform
+            )
+            lines.append(
+                f"  group {tag}: {fields} warmup={info.get('warmup')}s "
+                f"-> {len(members)} cells"
+            )
+        return "\n".join(lines)
+
+
+def _placeholder_result(cell: Cell) -> CellResult:
+    """A stand-in for a cell a dry run chose not to execute.
+
+    ``goodput_bytes == window`` makes every derived rate exactly 1.0,
+    so downstream gain arithmetic stays finite without pretending to be
+    a measurement.
+    """
+    return CellResult(
+        goodput_bytes=float(cell.window),
+        flagged_sources=0 if cell.rate_floor_bps is not None else None,
+    )
 
 
 def _mp_context():
@@ -286,11 +386,34 @@ class ExperimentRunner:
             prefix and fork each group from one frozen snapshot (the
             default).  ``False`` re-simulates every cell from scratch;
             results are bit-identical either way.
+        fabric: when > 0, dispatch cache-missing cells through the
+            work-stealing fabric (:mod:`repro.runner.fabric`) with this
+            many broker-spawned local workers instead of the static
+            process pool.  Results are bit-identical to ``fabric=0``.
+        fabric_queue: path for the fabric's durable lease queue.
+            ``None`` uses a private temporary file; point it at a
+            shared location to let external ``repro worker`` processes
+            (other hosts) steal work from the same batch.
+        fabric_ttl: lease time-to-live in seconds -- how long a silent
+            worker holds a group before it is stolen.
+        dry_run: resolve memo/cache hits normally but *plan* (do not
+            execute) everything else; see :class:`DryRunPlan`.
     """
 
     def __init__(self, *, jobs: int = 1, cache_dir=None,
-                 warm_start: bool = True) -> None:
+                 warm_start: bool = True, fabric: int = 0,
+                 fabric_queue=None, fabric_ttl: Optional[float] = None,
+                 dry_run: bool = False) -> None:
         self.jobs = check_jobs(jobs)
+        if isinstance(fabric, bool) or not isinstance(fabric, int):
+            raise ValidationError(
+                f"fabric must be an integer >= 0, got {fabric!r}"
+            )
+        if fabric < 0:
+            raise ValidationError(f"fabric must be >= 0, got {fabric}")
+        self.fabric = fabric
+        self.fabric_queue = fabric_queue
+        self.fabric_ttl = fabric_ttl
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.warm_start = warm_start
         self.stats = RunnerStats()
@@ -299,8 +422,15 @@ class ExperimentRunner:
         #: when True, executed packet cells carry a flight recorder and
         #: their harvested series land in the store.
         self.record_series = False
+        #: when True, batches are planned, not executed; see DryRunPlan.
+        self.dry_run = dry_run
+        self.dry_run_plan = DryRunPlan()
         self._memo: Dict[str, CellResult] = {}
+        #: placeholder results for cells a dry run "executed".
+        self._dry_memo: Dict[str, CellResult] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._broker = None
+        self._fabric_dir: Optional[str] = None
 
     def attach_store(self, store, *, record_series: bool = False) -> None:
         """Dual-write resolved cells into an experiment store.
@@ -333,6 +463,8 @@ class ExperimentRunner:
         """
         # cell_key resolves the (memoized) per-backend code fingerprint.
         keys = [cell_key(cell) for cell in cells]
+        if self.dry_run:
+            return self._plan_dry_run(cells, keys)
         results: Dict[str, CellResult] = {}
         pending: Dict[str, Cell] = {}
         for key, cell in zip(keys, cells):
@@ -361,7 +493,9 @@ class ExperimentRunner:
 
         if pending:
             units = self._plan_units(pending)
-            if self.jobs > 1 and len(units) > 1:
+            if self.fabric > 0:
+                self._execute_fabric(units, results)
+            elif self.jobs > 1 and len(units) > 1:
                 self._execute_parallel(units, results)
             else:
                 for unit in units:
@@ -389,6 +523,11 @@ class ExperimentRunner:
         still saturates the pool while many small groups stay whole.
         Chunking cannot change results, only how often the (bit-
         identical) prefix is re-simulated.
+
+        Fabric batches are never chunked: the fabric's steal
+        granularity is a whole warm-start group (one lease pays one
+        warm-up wherever it lands), and work-stealing -- not static
+        splitting -- is what keeps its workers busy.
         """
         if not self.warm_start:
             return [[(key, cell)] for key, cell in pending.items()]
@@ -397,7 +536,7 @@ class ExperimentRunner:
             groups.setdefault(warmup_key(cell), []).append((key, cell))
         ordered = list(groups.values())
         chunks_per_group = 1
-        if self.jobs > 1 and len(ordered) < self.jobs:
+        if self.fabric == 0 and self.jobs > 1 and len(ordered) < self.jobs:
             chunks_per_group = math.ceil(self.jobs / len(ordered))
         units: List[List[Tuple[str, Cell]]] = []
         for group in ordered:
@@ -408,6 +547,45 @@ class ExperimentRunner:
             )
         return units
 
+    def _plan_dry_run(self, cells: Sequence[Cell],
+                      keys: List[str]) -> List[CellResult]:
+        """Classify a batch without executing anything.
+
+        Memo and cache hits resolve to their real results; everything
+        else gets a placeholder and a plan entry.  Nothing is recorded
+        into stats, the memo, the cache, or the store -- a dry run must
+        leave no trace a later real run would trip over.
+        """
+        plan = self.dry_run_plan
+        plan.batches += 1
+        results: Dict[str, CellResult] = {}
+        for key, cell in zip(keys, cells):
+            if key in results:
+                plan.duplicates += 1
+                continue
+            hit = self._memo.get(key)
+            if hit is not None:
+                results[key] = hit
+                plan.add(key, warmup_key(cell), "memo", cell)
+                continue
+            dry = self._dry_memo.get(key)
+            if dry is not None:
+                # A previous dry-run batch "executed" it; a real run
+                # would find it in the memo by now.
+                results[key] = dry
+                plan.add(key, warmup_key(cell), "memo", cell)
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[key] = cached
+                    plan.add(key, warmup_key(cell), "cache", cell)
+                    continue
+            placeholder = _placeholder_result(cell)
+            results[key] = self._dry_memo[key] = placeholder
+            plan.add(key, warmup_key(cell), "execute", cell)
+        return [results[key] for key in keys]
+
     def _absorb_unit(self, unit: List[Tuple[str, Cell]],
                      group_result: GroupResult,
                      results: Dict[str, CellResult]) -> None:
@@ -416,7 +594,8 @@ class ExperimentRunner:
         for (key, cell), result, elapsed, cell_series in zip(
             unit, group_result.results, group_result.elapsed, series,
         ):
-            self._finish(key, cell, result, elapsed, cell_series)
+            self._finish(key, cell, result, elapsed, cell_series,
+                         worker=group_result.worker)
             results[key] = result
         stats = self.stats
         stats.warmup_sims += group_result.warmup_sims
@@ -466,22 +645,83 @@ class ExperimentRunner:
         stats.parallel_busy_seconds += busy
         stats.parallel_worker_seconds += workers * wall
 
+    # ------------------------------------------------------------------
+    # fabric execution
+    # ------------------------------------------------------------------
+    def _get_broker(self):
+        """The persistent fabric broker, created on first fabric batch."""
+        if self._broker is None:
+            from repro.runner.fabric import DEFAULT_LEASE_TTL, FabricBroker
+
+            path = self.fabric_queue
+            if path is None:
+                self._fabric_dir = tempfile.mkdtemp(prefix="repro-fabric-")
+                path = os.path.join(self._fabric_dir, "queue.sqlite")
+            ttl = (DEFAULT_LEASE_TTL if self.fabric_ttl is None
+                   else self.fabric_ttl)
+            self._broker = FabricBroker(path, self.fabric, ttl=ttl)
+        return self._broker
+
+    def _execute_fabric(self, units: List[List[Tuple[str, Cell]]],
+                        results: Dict[str, CellResult]) -> None:
+        """Dispatch one batch through the work-stealing lease queue.
+
+        Each unit (a whole warm-start group) becomes one leasable
+        queue group; results are absorbed incrementally as workers
+        persist them, in completion order.  Bit-identical to the serial
+        and pool paths: cells are deterministic and keyed by content
+        hash, so placement and steal order cannot change any value.
+        """
+        if self.record_series:
+            raise ValidationError(
+                "record_series is not supported through the fabric; "
+                "use jobs-based execution to record flight series"
+            )
+        stats = self.stats
+        busy = [0.0]
+
+        def absorb(key, cell, result, elapsed, worker, warm):
+            self._finish(key, cell, result, elapsed, worker=worker)
+            results[key] = result
+            busy[0] += elapsed
+            if warm:
+                stats.warm_starts += 1
+                stats.warmup_seconds_saved += cell.warmup
+            elif warm is not None and cell.backend == "packet":
+                stats.warmup_sims += 1
+
+        broker = self._get_broker()
+        payload = [(warmup_key(unit[0][1]), unit) for unit in units]
+        batch = broker.run_batch(payload, absorb)
+        stats.fabric_batches += 1
+        stats.fabric_requeues += batch.requeued_groups
+        stats.parallel_batches += 1
+        stats.parallel_wall_seconds += batch.wall_seconds
+        stats.parallel_busy_seconds += busy[0]
+        stats.parallel_worker_seconds += self.fabric * batch.wall_seconds
+        if batch.requeued_groups:
+            _log.info("[fabric batch: %d groups re-queued after lease "
+                      "expiry]", batch.requeued_groups)
+
     def _record_store(self, key: str, cell: Cell, result: CellResult,
-                      source: str, elapsed=None, series=None) -> None:
+                      source: str, elapsed=None, series=None,
+                      worker=None) -> None:
         """One store row per resolved cell (no-op without a store)."""
         if self.store is not None:
             self.store.record_cell(key, cell, result, source=source,
-                                   elapsed=elapsed, series=series)
+                                   elapsed=elapsed, series=series,
+                                   worker=worker)
 
     def _finish(self, key: str, cell: Cell, result: CellResult,
-                elapsed: float, series=None) -> None:
+                elapsed: float, series=None, worker=None) -> None:
         self._memo[key] = result
         if self.cache is not None:
             self.cache.put(key, result, meta={
                 "cell": cell.describe(), "elapsed": elapsed,
             })
         self.stats.record(key, "executed", elapsed)
-        self._record_store(key, cell, result, "executed", elapsed, series)
+        self._record_store(key, cell, result, "executed", elapsed, series,
+                           worker)
         if cell.backend == "fluid":
             self.stats.fluid_cells += 1
         if result.converged_at is not None:
@@ -495,14 +735,23 @@ class ExperimentRunner:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the persistent worker pool (if one was created).
+        """Shut down the worker pool and fabric broker (if created).
 
-        Idempotent; the runner remains usable afterwards (a new pool is
-        created on the next parallel batch).
+        Idempotent; the runner remains usable afterwards (a new pool or
+        broker is created on the next parallel batch).  A private
+        temporary fabric queue is deleted; an explicit ``fabric_queue``
+        path is left in place -- it is the durable crash-recovery
+        record.
         """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._broker is not None:
+            self._broker.close()
+            self._broker = None
+        if self._fabric_dir is not None:
+            shutil.rmtree(self._fabric_dir, ignore_errors=True)
+            self._fabric_dir = None
 
     def __enter__(self) -> "ExperimentRunner":
         return self
@@ -517,45 +766,26 @@ class ExperimentRunner:
 _default_runner: Optional[ExperimentRunner] = None
 
 
-def _env_positive_int(name: str, default: int) -> int:
-    """Parse a >= 1 integer environment variable, naming it on failure."""
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        value = int(raw.strip())
-    except ValueError:
-        raise ValidationError(
-            f"environment variable {name} must be an integer >= 1, "
-            f"got {raw!r}"
-        ) from None
-    if value < 1:
-        raise ValidationError(
-            f"environment variable {name} must be >= 1, got {value}"
-        )
-    return value
-
-
-def _env_flag(name: str) -> bool:
-    """True when an environment flag is set to a truthy value."""
-    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
-
-
 def get_default_runner() -> ExperimentRunner:
     """The runner measurements use when no explicit one is passed.
 
     Created lazily from the environment: ``REPRO_JOBS`` sets the worker
     count (default 1; must parse as an integer >= 1),
     ``REPRO_CACHE_DIR`` enables the disk cache at that location
-    (default: memo only, no disk cache), and ``REPRO_NO_WARM_START=1``
-    disables warm-start scheduling.
+    (default: memo only, no disk cache), ``REPRO_NO_WARM_START=1``
+    disables warm-start scheduling, and ``REPRO_FABRIC=N`` routes
+    cache-missing batches through the work-stealing fabric with N
+    local workers (``REPRO_FABRIC_QUEUE`` points its lease queue at a
+    shared path for multi-host runs).
     """
     global _default_runner
     if _default_runner is None:
         _default_runner = ExperimentRunner(
-            jobs=_env_positive_int("REPRO_JOBS", 1),
-            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
-            warm_start=not _env_flag("REPRO_NO_WARM_START"),
+            jobs=env_int("REPRO_JOBS", 1, minimum=1),
+            cache_dir=env_str("REPRO_CACHE_DIR") or None,
+            warm_start=not env_flag("REPRO_NO_WARM_START"),
+            fabric=env_int("REPRO_FABRIC", 0, minimum=0),
+            fabric_queue=env_str("REPRO_FABRIC_QUEUE") or None,
         )
     return _default_runner
 

@@ -63,13 +63,13 @@ from __future__ import annotations
 
 import copy as _copy
 import itertools
-import os
 from heapq import heapify, heappop, heappush
 from math import inf
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs import metrics as _obs
+from repro.util.env import env_choice
 from repro.util.errors import SimulationError
 
 __all__ = ["Event", "Simulator", "HeapScheduler", "CalendarQueue",
@@ -124,15 +124,7 @@ def scheduler_builds() -> dict:
 
 def scheduler_from_env() -> str:
     """The backend ``REPRO_SCHEDULER`` selects (default ``"auto"``)."""
-    value = os.environ.get("REPRO_SCHEDULER", "").strip().lower()
-    if not value:
-        return "auto"
-    if value not in SCHEDULER_CHOICES:
-        raise SimulationError(
-            f"REPRO_SCHEDULER must be one of {SCHEDULER_CHOICES}, "
-            f"got {value!r}"
-        )
-    return value
+    return env_choice("REPRO_SCHEDULER", SCHEDULER_CHOICES, default="auto")
 
 
 class Event(list):

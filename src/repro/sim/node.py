@@ -26,11 +26,11 @@ argument / scenario-config field); see :mod:`repro.sim.routing`.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Mapping, Optional, TYPE_CHECKING
 
 from repro.sim.packet import Packet
-from repro.util.errors import ConfigurationError, ValidationError
+from repro.util.env import env_choice
+from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -50,16 +50,8 @@ def forwarding_default() -> str:
     pure performance knob (the dict plane exists as the A/B baseline
     for the forwarding benchmark).
     """
-    value = os.environ.get("REPRO_FORWARDING")
-    if value is None or not value.strip():
-        return "compiled"
-    mode = value.strip().lower()
-    if mode not in FORWARDING_MODES:
-        raise ValidationError(
-            f"REPRO_FORWARDING must be one of {FORWARDING_MODES}, "
-            f"got {value!r}"
-        )
-    return mode
+    return env_choice("REPRO_FORWARDING", FORWARDING_MODES,
+                      default="compiled")
 
 
 class Node:

@@ -7,6 +7,13 @@ caller can write ``mbps(15)`` instead of ``15_000_000`` and ``ms(50)``
 instead of ``0.05``.
 """
 
+from repro.util.env import (
+    env_choice,
+    env_flag,
+    env_float,
+    env_int,
+    env_str,
+)
 from repro.util.errors import (
     ConfigurationError,
     ReproError,
@@ -50,6 +57,11 @@ __all__ = [
     "check_positive",
     "check_probability",
     "check_range",
+    "env_choice",
+    "env_flag",
+    "env_float",
+    "env_int",
+    "env_str",
     "gbps",
     "kbps",
     "mbps",

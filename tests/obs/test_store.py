@@ -38,16 +38,17 @@ def make_store(tmp_path, name="store.sqlite"):
 
 def insert_cell(store, *, key, source="executed", gamma=None, extent=None,
                 rate_bps=None, goodput_rate=1000.0, n_flows=5, seed=1,
-                elapsed=None, backend="packet", kind="dumbbell"):
+                elapsed=None, backend="packet", kind="dumbbell",
+                worker=None):
     """A synthetic cells row (canned-query tests control every column)."""
     cursor = store._db.execute(
         "INSERT INTO cells (experiment_id, key, source, elapsed, spec,"
         " backend, kind, n_flows, seed, gamma, extent, rate_bps,"
-        " goodput_bytes, goodput_rate)"
-        " VALUES (?, ?, ?, ?, '{}', ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        " goodput_bytes, goodput_rate, worker)"
+        " VALUES (?, ?, ?, ?, '{}', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
         (store._experiment_id, key, source, elapsed, backend, kind,
          n_flows, seed, gamma, extent, rate_bps,
-         goodput_rate * 2.0, goodput_rate),
+         goodput_rate * 2.0, goodput_rate, worker),
     )
     store._db.commit()
     return int(cursor.lastrowid)
@@ -294,3 +295,59 @@ class TestRawQuery:
             "SELECT key, source FROM cells WHERE key = ?", ("abc",))
         assert names == ["key", "source"]
         assert rows == [("abc", "executed")]
+
+
+class TestWorkerAttribution:
+    def test_record_cell_persists_worker(self, tmp_path, executed_cell):
+        cell, result, _ = executed_cell
+        store = make_store(tmp_path)
+        store.record_cell("aa" * 32, cell, result, source="executed",
+                          elapsed=0.5, worker="hostA:4242")
+        store.record_cell("bb" * 32, cell, result, source="cache")
+        names, rows = store.query(
+            "SELECT key, worker FROM cells ORDER BY key")
+        assert rows == [("aa" * 32, "hostA:4242"), ("bb" * 32, None)]
+
+    def test_slowest_cells_names_the_worker(self, tmp_path):
+        store = make_store(tmp_path)
+        insert_cell(store, key="slow", elapsed=3.0, worker="hostB:7")
+        insert_cell(store, key="fast", elapsed=0.1)
+        names, rows = store.slowest_cells(limit=5)
+        assert "worker" in names
+        by_key = {row[0]: dict(zip(names, row)) for row in rows}
+        assert by_key["slow"]["worker"] == "hostB:7"
+        assert by_key["fast"]["worker"] == "-"  # pre-fabric rows
+
+    def test_workers_rollup_attributes_stragglers(self, tmp_path):
+        store = make_store(tmp_path)
+        insert_cell(store, key="a1", elapsed=1.0, worker="hostA:1")
+        insert_cell(store, key="a2", elapsed=3.0, worker="hostA:1")
+        insert_cell(store, key="b1", elapsed=0.5, worker="hostB:2")
+        insert_cell(store, key="hit", source="cache", worker="hostB:2")
+        names, rows = store.workers()
+        table = [dict(zip(names, row)) for row in rows]
+        # Busiest worker first; cache hits are not execution time.
+        assert [t["worker"] for t in table] == ["hostA:1", "hostB:2"]
+        assert table[0]["cells"] == 2
+        assert table[0]["busy_s"] == pytest.approx(4.0)
+        assert table[0]["mean_s"] == pytest.approx(2.0)
+        assert table[0]["max_s"] == pytest.approx(3.0)
+        assert table[1]["cells"] == 1
+
+    def test_workers_is_a_canned_query(self):
+        assert "workers" in CANNED_QUERIES
+
+    def test_pre_worker_store_is_migrated(self, tmp_path):
+        """Opening a store created before the worker column adds it."""
+        path = tmp_path / "old.sqlite"
+        store = make_store(tmp_path, name="old.sqlite")
+        store.close()
+        import sqlite3
+
+        db = sqlite3.connect(str(path))
+        db.execute("ALTER TABLE cells DROP COLUMN worker")
+        db.commit()
+        db.close()
+        with ExperimentStore(path) as reopened:
+            names, _ = reopened.query("SELECT * FROM cells LIMIT 0")
+            assert "worker" in names

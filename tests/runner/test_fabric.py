@@ -1,0 +1,482 @@
+"""The work-stealing fabric: lease queue, invariance, crash recovery.
+
+Three contracts under test, in increasing order of integration:
+
+1. **Lease queue semantics** -- whole-group leases under ``BEGIN
+   IMMEDIATE``, expiry-as-crash-signal, idempotent completion, durable
+   result reuse across broker restarts.
+2. **Steal-order invariance** -- a batch run serially, through the
+   static process pool, or through the fabric with *any* randomized
+   lease interleaving yields bit-identical :class:`CellResult`\\ s.
+3. **Crash recovery** -- a SIGKILLed worker's group re-enters the
+   pending state after its lease expires and is completed by a
+   surviving worker, with the re-queue visible in ``attempts``.
+"""
+
+import functools
+import hashlib
+import multiprocessing
+import os
+import pickle
+import random
+import signal
+import sqlite3
+import tempfile
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attack import PulseTrain
+from repro.runner import (
+    Cell,
+    ExperimentRunner,
+    FabricBroker,
+    FabricError,
+    LeaseQueue,
+    PlatformSpec,
+    cell_key,
+    warmup_key,
+    worker_main,
+)
+from repro.util.errors import ValidationError
+from repro.util.units import mbps, ms
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def make_train(gamma):
+    return PulseTrain.from_gamma(
+        gamma=gamma, rate_bps=mbps(30), extent=ms(100),
+        bottleneck_bps=mbps(15), n_pulses=3,
+    )
+
+
+def sweep_cells(*, seed=11, n_flows=2, warmup=1.0, window=2.0,
+                gammas=(0.3, 0.6)):
+    platform = PlatformSpec(kind="dumbbell", n_flows=n_flows, seed=seed)
+    baseline = Cell(platform=platform, warmup=warmup, window=window)
+    return [baseline] + [
+        Cell(platform=platform, warmup=warmup, window=window,
+             train=make_train(g))
+        for g in gammas
+    ]
+
+
+def two_group_cells():
+    """Six cells across two warm-start prefixes (seeds 11 and 12)."""
+    return sweep_cells(seed=11) + sweep_cells(seed=12)
+
+
+def digest(results):
+    """A bit-exact fingerprint of a result list (repr round-trips floats)."""
+    return hashlib.sha256(repr(results).encode()).hexdigest()
+
+
+def cell_units(cells):
+    """Group cells into fabric enqueue units, serial-planner style."""
+    groups = {}
+    for cell in cells:
+        groups.setdefault(warmup_key(cell), []).append(
+            (cell_key(cell), pickle.dumps(cell))
+        )
+    return [(wkey, items) for wkey, items in groups.items()]
+
+
+# Queue payloads that are not Cells must be picklable zero-arg
+# callables, so everything lives at module level.
+def _value(tag):
+    return f"done:{tag}"
+
+
+def _boom():
+    raise RuntimeError("payload exploded")
+
+
+def _slow(seconds):
+    time.sleep(seconds)
+    return "slept"
+
+
+def callable_units(tags_by_group):
+    return [
+        (f"wkey-{g}", [(f"key-{g}-{t}",
+                        pickle.dumps(functools.partial(_value, f"{g}-{t}")))
+                       for t in tags])
+        for g, tags in enumerate(tags_by_group)
+    ]
+
+
+def drain_map(queue, batch_id):
+    """All completed results of *batch_id*, unpickled, keyed by task key."""
+    out = {}
+    for row in queue.take_completed(batch_id):
+        assert row.error is None, row.error
+        out[row.key] = pickle.loads(row.result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# lease queue semantics
+# ----------------------------------------------------------------------
+class TestLeaseQueue:
+    def test_lease_takes_whole_group_in_order(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q.sqlite")
+        batch, reused = queue.enqueue_batch(callable_units([["a", "b", "c"]]))
+        assert reused == {}
+        lease = queue.lease("w1")
+        assert lease is not None
+        assert lease.attempts == 1
+        assert len(lease.task_ids) == 3
+        assert list(lease.keys) == ["key-0-a", "key-0-b", "key-0-c"]
+        # The group is leased whole: nothing else to claim.
+        assert queue.lease("w2") is None
+        for task_id, key in zip(lease.task_ids, lease.keys):
+            queue.complete_task(task_id, pickle.dumps(key), elapsed=0.0,
+                                warm=False, worker="w1")
+        queue.complete_group(lease.group_id, "w1")
+        assert queue.batch_progress(batch) == (3, 3)
+        rows = queue.take_completed(batch)
+        assert [r.key for r in rows] == ["key-0-a", "key-0-b", "key-0-c"]
+        # Absorption is exactly-once.
+        assert queue.take_completed(batch) == []
+        queue.close()
+
+    def test_expired_lease_is_stolen_with_attempts(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q.sqlite")
+        batch, _ = queue.enqueue_batch(callable_units([["a"]]))
+        first = queue.lease("victim", ttl=0.01)
+        time.sleep(0.05)
+        stolen = queue.lease("thief", ttl=30.0)
+        assert stolen is not None
+        assert stolen.group_id == first.group_id
+        assert stolen.attempts == 2
+        assert queue.requeued_groups(batch) == 1
+        queue.close()
+
+    def test_stolen_group_relists_only_unfinished_tasks(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q.sqlite")
+        queue.enqueue_batch(callable_units([["a", "b", "c"]]))
+        first = queue.lease("victim", ttl=0.01)
+        queue.complete_task(first.task_ids[0], pickle.dumps("early"),
+                            elapsed=0.1, warm=False, worker="victim")
+        time.sleep(0.05)
+        stolen = queue.lease("thief", ttl=30.0)
+        # The stealer re-executes only what was never persisted.
+        assert list(stolen.keys) == ["key-0-b", "key-0-c"]
+        queue.close()
+
+    def test_lease_closes_group_whose_tasks_all_finished(self, tmp_path):
+        # A stalled worker's lease can expire *after* it persisted every
+        # task; the next lease() must close the group out, not re-run it.
+        queue = LeaseQueue(tmp_path / "q.sqlite")
+        queue.enqueue_batch(callable_units([["a"]]))
+        lease = queue.lease("staller", ttl=0.01)
+        queue.complete_task(lease.task_ids[0], pickle.dumps("done"),
+                            elapsed=0.1, warm=False, worker="staller")
+        time.sleep(0.05)
+        assert queue.lease("thief") is None
+
+    def test_heartbeat_extends_lease_and_detects_steal(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q.sqlite")
+        queue.enqueue_batch(callable_units([["a"]]))
+        lease = queue.lease("w1", ttl=0.2)
+        for _ in range(4):
+            time.sleep(0.1)
+            assert queue.heartbeat(lease.group_id, "w1", ttl=0.2)
+            # Kept alive well past the original deadline.
+            assert queue.reclaim_expired() == 0
+        time.sleep(0.3)  # stop beating: the lease lapses
+        assert queue.lease("w2", ttl=30.0) is not None
+        assert queue.heartbeat(lease.group_id, "w1", ttl=0.2) is False
+        queue.close()
+
+    def test_enqueue_reuses_durable_results(self, tmp_path):
+        # Crash recovery: re-enqueueing after a completed (then killed)
+        # run reuses every durable result instead of re-executing.
+        path = tmp_path / "q.sqlite"
+        queue = LeaseQueue(path)
+        units = callable_units([["a", "b"], ["c"]])
+        queue.enqueue_batch(units)
+        assert worker_main(path, worker_id="w1", once=True) == 2
+        batch2, reused = queue.enqueue_batch(units)
+        assert set(reused) == {"key-0-a", "key-0-b", "key-1-c"}
+        assert pickle.loads(reused["key-0-a"].result) == "done:0-a"
+        assert queue.lease("w1") is None  # nothing was re-enqueued
+        assert queue.batch_progress(batch2) == (0, 0)
+        queue.close()
+
+    def test_state_open_closed(self, tmp_path):
+        queue = LeaseQueue(tmp_path / "q.sqlite")
+        assert not queue.is_closed()
+        queue.set_state("closed")
+        assert queue.is_closed()
+        with pytest.raises(ValidationError, match="queue state"):
+            queue.set_state("draining")
+        queue.close()
+
+
+class TestWorkerMain:
+    def test_drains_and_counts_groups(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        queue = LeaseQueue(path)
+        batch, _ = queue.enqueue_batch(callable_units([["a", "b"], ["c"]]))
+        served = worker_main(path, worker_id="w1", once=True)
+        assert served == 2
+        results = drain_map(queue, batch)
+        assert results == {"key-0-a": "done:0-a", "key-0-b": "done:0-b",
+                           "key-1-c": "done:1-c"}
+        queue.close()
+
+    def test_max_groups_limits_stealing(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        queue = LeaseQueue(path)
+        queue.enqueue_batch(callable_units([["a"], ["b"], ["c"]]))
+        assert worker_main(path, worker_id="w1", once=True,
+                           max_groups=1) == 1
+        assert worker_main(path, worker_id="w2", once=True) == 2
+        queue.close()
+
+    def test_closed_queue_releases_worker(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        queue = LeaseQueue(path)
+        queue.set_state("closed")
+        # No ``once``: only the closed flag lets an idle worker exit.
+        assert worker_main(path, worker_id="w1") == 0
+        queue.close()
+
+    def test_failing_payload_persists_error_and_reraises(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        queue = LeaseQueue(path)
+        units = [("wkey-0", [("key-bad", pickle.dumps(_boom))])]
+        batch, _ = queue.enqueue_batch(units)
+        with pytest.raises(RuntimeError, match="payload exploded"):
+            worker_main(path, worker_id="w1", once=True)
+        (row,) = queue.take_completed(batch)
+        assert row.result is None
+        assert "payload exploded" in row.error
+        queue.close()
+
+
+# ----------------------------------------------------------------------
+# steal-order invariance
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serial_expected():
+    """Ground truth: the sweep executed serially, keyed by content."""
+    cells = two_group_cells()
+    with ExperimentRunner(jobs=1) as runner:
+        results = runner.measure_many(cells)
+    return cells, results, {cell_key(c): r for c, r in zip(cells, results)}
+
+
+class TestFabricInvariance:
+    def test_serial_pool_fabric_bit_identical(self, serial_expected):
+        cells, serial, _ = serial_expected
+        with ExperimentRunner(jobs=2) as pool_runner:
+            pooled = pool_runner.measure_many(cells)
+        with ExperimentRunner(fabric=2) as fabric_runner:
+            fabbed = fabric_runner.measure_many(cells)
+        assert digest(pooled) == digest(serial)
+        assert digest(fabbed) == digest(serial)
+        stats = fabric_runner.stats
+        assert stats.fabric_batches == 1
+        assert stats.executed == len(cells)
+        # Warm accounting is placement-independent too: one warm-up per
+        # prefix, every other cell a fork.
+        assert stats.warmup_sims == 2
+        assert stats.warm_starts == len(cells) - 2
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_randomized_lease_interleavings(self, seed, serial_expected):
+        """Any seeded steal order reproduces the serial results bit-exactly."""
+        cells, _, expected = serial_expected
+        rng = random.Random(seed)
+        workers = ["w0", "w1", "w2"]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "q.sqlite")
+            queue = LeaseQueue(path)
+            batch, reused = queue.enqueue_batch(cell_units(cells))
+            assert reused == {}
+            done, total = queue.batch_progress(batch)
+            while done < total:
+                worker_main(path, worker_id=rng.choice(workers),
+                            once=True, max_groups=1)
+                done, total = queue.batch_progress(batch)
+            results = drain_map(queue, batch)
+            queue.close()
+        assert results == expected
+
+    def test_fabric_rejects_record_series(self):
+        runner = ExperimentRunner(fabric=1)
+        runner.record_series = True
+        with pytest.raises(ValidationError, match="record_series"):
+            runner.measure_many(two_group_cells()[:1])
+        runner.close()
+
+    @pytest.mark.parametrize("bad", [True, -1, "2", 1.5])
+    def test_fabric_argument_validated(self, bad):
+        with pytest.raises(ValidationError, match="fabric"):
+            ExperimentRunner(fabric=bad)
+
+    def test_explicit_queue_survives_runner_restart(self, tmp_path,
+                                                    serial_expected):
+        """A re-run against the same durable queue reuses its results."""
+        cells, serial, _ = serial_expected
+        path = tmp_path / "shared.sqlite"
+        with ExperimentRunner(fabric=1, fabric_queue=path) as first:
+            assert digest(first.measure_many(cells)) == digest(serial)
+        with ExperimentRunner(fabric=1, fabric_queue=path) as second:
+            assert digest(second.measure_many(cells)) == digest(serial)
+        # The second run re-enqueued nothing: every task row predates it.
+        db = sqlite3.connect(str(path))
+        (task_rows,) = db.execute("SELECT COUNT(*) FROM tasks").fetchone()
+        db.close()
+        assert task_rows == len(cells)
+
+
+# ----------------------------------------------------------------------
+# crash recovery
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def _wait_for(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_sigkilled_worker_group_requeued_and_completed(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        queue = LeaseQueue(path)
+        units = [("wkey-0", [("key-slow",
+                              pickle.dumps(functools.partial(_slow, 0.5)))])]
+        batch, _ = queue.enqueue_batch(units)
+
+        context = multiprocessing.get_context("fork")
+        victim = context.Process(
+            target=worker_main, args=(str(path),),
+            kwargs=dict(worker_id="victim", ttl=0.2, poll=0.01),
+        )
+        victim.start()
+        db = sqlite3.connect(str(path))
+        leased = self._wait_for(lambda: db.execute(
+            "SELECT COUNT(*) FROM groups WHERE state = 'leased'"
+        ).fetchone()[0] == 1)
+        db.close()
+        assert leased, "victim never leased the group"
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+
+        time.sleep(0.3)  # let the dead worker's lease lapse
+        assert queue.reclaim_expired() == 1
+        assert worker_main(path, worker_id="rescuer", once=True) == 1
+        assert queue.requeued_groups(batch) == 1
+        (row,) = queue.take_completed(batch)
+        assert pickle.loads(row.result) == "slept"
+        assert row.worker == "rescuer"
+        queue.close()
+
+    def test_runner_results_survive_worker_kill(self, serial_expected):
+        """Killing a fabric worker mid-batch cannot change any result."""
+        import threading
+
+        cells, serial, _ = serial_expected
+        with ExperimentRunner(fabric=2, fabric_ttl=0.5) as runner:
+            def assassin():
+                broker = runner._broker
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if broker is None:
+                        broker = runner._broker
+                    elif broker.worker_pids():
+                        os.kill(broker.worker_pids()[0], signal.SIGKILL)
+                        return
+                    time.sleep(0.02)
+
+            thread = threading.Thread(target=assassin)
+            thread.start()
+            results = runner.measure_many(cells)
+            thread.join(timeout=10.0)
+        # The kill may or may not land mid-lease (timing), but results
+        # are bit-identical either way -- that is the whole point.
+        assert digest(results) == digest(serial)
+
+
+class TestBroker:
+    def test_task_failure_surfaces_as_fabric_error(self, tmp_path):
+        broker = FabricBroker(tmp_path / "q.sqlite", spawn_workers=1,
+                              ttl=5.0)
+        try:
+            with pytest.raises(FabricError, match="payload exploded"):
+                broker.run_batch(
+                    [("wkey-0", [("key-bad", _boom)])],
+                    lambda *a: None,
+                )
+        finally:
+            broker.close()
+
+    def test_spawn_workers_validated(self, tmp_path):
+        with pytest.raises(ValidationError, match="spawn_workers"):
+            FabricBroker(tmp_path / "q.sqlite", spawn_workers=-1)
+
+
+# ----------------------------------------------------------------------
+# dry run
+# ----------------------------------------------------------------------
+class TestDryRun:
+    def test_plans_instead_of_executing(self):
+        cells = sweep_cells()
+        with ExperimentRunner(dry_run=True) as runner:
+            results = runner.measure_many(cells)
+            assert len(results) == len(cells)
+            # Placeholders, not measurements: rate exactly 1.0 and no
+            # execution recorded anywhere.
+            assert all(r.goodput_bytes == cells[0].window for r in results)
+            assert runner.stats.executed == 0
+            assert runner.stats.cache_hits == 0
+            plan = runner.dry_run_plan
+            assert [e.status for e in plan.entries] == ["execute"] * 3
+            assert plan.batches == 1
+
+    def test_second_batch_hits_dry_memo(self):
+        cells = sweep_cells()
+        with ExperimentRunner(dry_run=True) as runner:
+            first = runner.measure_many(cells)
+            second = runner.measure_many(cells)
+            assert second == first
+            statuses = [e.status for e in runner.dry_run_plan.entries]
+            assert statuses == ["execute"] * 3 + ["memo"] * 3
+
+    def test_duplicates_counted_once(self):
+        cell = sweep_cells()[0]
+        with ExperimentRunner(dry_run=True) as runner:
+            runner.measure_many([cell, cell, cell])
+            assert len(runner.dry_run_plan.entries) == 1
+            assert runner.dry_run_plan.duplicates == 2
+
+    def test_cache_hits_resolve_real_results(self, tmp_path):
+        cells = sweep_cells()
+        with ExperimentRunner(cache_dir=tmp_path) as real:
+            executed = real.measure_many(cells)
+        with ExperimentRunner(cache_dir=tmp_path, dry_run=True) as dry:
+            planned = dry.measure_many(cells)
+            assert planned == executed  # real cached values, not stand-ins
+            statuses = [e.status for e in dry.dry_run_plan.entries]
+            assert statuses == ["cache"] * 3
+
+    def test_render_summarizes_prefix_groups(self):
+        cells = two_group_cells()
+        with ExperimentRunner(dry_run=True) as runner:
+            runner.measure_many(cells)
+            text = runner.dry_run_plan.render()
+        assert "6 cells planned -- 6 to execute" in text
+        assert "warm-up prefixes to simulate: 2" in text
+        assert "kind=dumbbell" in text and "seed=11" in text
+
+    def test_empty_plan_renders(self):
+        assert ExperimentRunner(dry_run=True).dry_run_plan.render() \
+            == "dry run: no cells planned"

@@ -19,7 +19,7 @@ from repro.sim.engine import (
     Simulator,
     scheduler_builds,
 )
-from repro.util.errors import SimulationError
+from repro.util.errors import SimulationError, ValidationError
 
 
 def calendar_sim() -> Simulator:
@@ -40,7 +40,10 @@ class TestSelection:
         monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
         assert Simulator().scheduler == "calendar"
         monkeypatch.setenv("REPRO_SCHEDULER", "bogus")
-        with pytest.raises(SimulationError):
+        # Environment parsing fails as a ValidationError naming the
+        # variable (uniform across every REPRO_* knob); explicit
+        # scheduler= arguments still raise SimulationError above.
+        with pytest.raises(ValidationError, match="REPRO_SCHEDULER"):
             Simulator()
 
     def test_builds_counter_tracks_backends(self):
